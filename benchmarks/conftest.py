@@ -1,0 +1,101 @@
+"""Shared fixtures for the reproduction benchmarks.
+
+The expensive artefact — a multi-day fleet crawl of the simulated ecosystem
+— is built once per session; each table/figure benchmark then measures and
+prints its analysis against that shared crawl.  Every benchmark writes its
+rendered paper-vs-measured output to ``benchmarks/results/<name>.txt`` (and
+stdout), so results survive pytest's capture.
+
+Scale: the paper ran 30 NodeFinder instances for 82 days against a network
+of ~356K HELLO-able nodes.  The default bench world is ~1/80 of that
+(1,500 nodes, 6 sim-days, 3 instances); fractions and shapes are the
+comparable quantities, and absolute counts are reported next to the scale
+factor.  Set ``REPRO_BENCH_SCALE=full`` for a larger (slower) world.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+import types
+
+import pytest
+
+from repro.datasets.ethernodes import EthernodesCrawler
+from repro.nodefinder.fleet import run_fleet
+from repro.nodefinder.sanitize import sanitize
+from repro.nodefinder.scanner import NodeFinderConfig
+from repro.simnet.casestudy import GETH_PROFILE, PARITY_PROFILE, run_case_study
+from repro.simnet.population import PopulationConfig
+from repro.simnet.world import SimWorld, WorldConfig
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+_PROFILES = {
+    # nodes, days, instances, discovery interval
+    "quick": (600, 3.0, 2, 60.0),
+    "default": (1500, 6.0, 3, 30.0),
+    "full": (4000, 10.0, 3, 20.0),
+}
+
+
+def bench_profile() -> tuple[int, float, int, float]:
+    return _PROFILES[os.environ.get("REPRO_BENCH_SCALE", "default")]
+
+
+def emit(name: str, text: str) -> None:
+    """Print a rendered result and persist it under benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
+    print(f"\n{text}")
+
+
+@pytest.fixture(scope="session")
+def paper_crawl():
+    """The shared fleet crawl: world + fleet + raw/sanitised databases."""
+    nodes, days, instances, interval = bench_profile()
+    world = SimWorld(
+        WorldConfig(
+            population=PopulationConfig(
+                total_nodes=nodes, measurement_days=days, seed=2018
+            ),
+            seed=2018,
+        )
+    )
+    fleet = run_fleet(
+        world,
+        instance_count=instances,
+        days=days,
+        config=NodeFinderConfig(discovery_interval=interval),
+        watch_bootstrap=True,
+    )
+    raw_db = fleet.merged_db
+    db, report = sanitize(raw_db, fleet.own_node_ids())
+    return types.SimpleNamespace(
+        world=world,
+        fleet=fleet,
+        raw_db=raw_db,
+        db=db,
+        sanitization=report,
+        stats=fleet.merged_stats,
+        days=days,
+        instances=instances,
+        snapshot_start=max(0.0, days - 2.0),
+        snapshot_end=max(1.0, days - 1.0),
+    )
+
+
+@pytest.fixture(scope="session")
+def ethernodes_snapshot(paper_crawl):
+    crawler = EthernodesCrawler(paper_crawl.world)
+    return crawler.snapshot(paper_crawl.snapshot_start, paper_crawl.snapshot_end)
+
+
+@pytest.fixture(scope="session")
+def case_study_geth():
+    return run_case_study(GETH_PROFILE, days=7.0, seed=42)
+
+
+@pytest.fixture(scope="session")
+def case_study_parity():
+    return run_case_study(PARITY_PROFILE, days=7.0, seed=43)

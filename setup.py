@@ -1,0 +1,5 @@
+"""Offline-install shim: `python setup.py develop` works without the
+wheel package that `pip install -e .` needs for PEP 517 builds."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,52 @@
+"""Reproduction of *Measuring Ethereum Network Peers* (Kim et al., IMC 2018).
+
+The package rebuilds, in pure Python, everything the paper's NodeFinder
+measurement tool stands on and everything its evaluation reports:
+
+* the Ethereum network stack — RLP (:mod:`repro.rlp`), the cryptographic
+  primitives (:mod:`repro.crypto`), RLPx discovery (:mod:`repro.discovery`),
+  the encrypted transport (:mod:`repro.rlpx`), DEVp2p (:mod:`repro.devp2p`),
+  and the eth subprotocol with full/fast sync (:mod:`repro.ethproto`);
+* a blockchain substrate (:mod:`repro.chain`) whose Mainnet genesis hashes
+  to the real ``d4e56740…cb8fa3``;
+* a live node (:mod:`repro.fullnode`) and the NodeFinder crawler
+  (:mod:`repro.nodefinder`) in both simulated and real-socket forms;
+* a simulated 2018 DEVp2p ecosystem (:mod:`repro.simnet`) and the analysis
+  pipeline (:mod:`repro.analysis`) regenerating every table and figure.
+
+Quickstart::
+
+    import asyncio
+    from repro.crypto import PrivateKey
+    from repro.fullnode import FullNode
+    from repro.nodefinder.wire import harvest
+
+    async def main():
+        node = await FullNode().start()
+        result = await harvest(node.enode, PrivateKey.generate())
+        print(result.client_id, result.network_id, result.dao_side)
+        await node.stop()
+
+    asyncio.run(main())
+
+See README.md for the architecture, DESIGN.md for the system inventory and
+substitutions, and EXPERIMENTS.md for paper-vs-measured results.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "rlp",
+    "crypto",
+    "discovery",
+    "rlpx",
+    "devp2p",
+    "ethproto",
+    "chain",
+    "simnet",
+    "nodefinder",
+    "datasets",
+    "analysis",
+    "fullnode",
+    "errors",
+]

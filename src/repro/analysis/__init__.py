@@ -1,0 +1,30 @@
+"""Analysis pipeline: crawl products → the paper's tables and figures.
+
+Each module computes one family of results from a :class:`NodeDB` /
+:class:`CrawlStats` (and, where relevant, world ground truth):
+
+* :mod:`repro.analysis.clients` — client parsing, Tables 4-5, Figure 10;
+* :mod:`repro.analysis.ecosystem` — Table 3, Figure 9, §6.1 uselessness;
+* :mod:`repro.analysis.comparison` — Table 2 and Table 6;
+* :mod:`repro.analysis.geography` — Figures 12-13;
+* :mod:`repro.analysis.freshness` — Figure 14;
+* :mod:`repro.analysis.validation` — Figures 5-8;
+* :mod:`repro.analysis.distance` — Figure 11 and the §6.3 friction study;
+* :mod:`repro.analysis.render` — plain-text table/series rendering.
+"""
+
+from repro.analysis.clients import ClientInfo, parse_client_id
+from repro.analysis.ecosystem import service_table, network_stats, useless_fraction
+from repro.analysis.freshness import freshness_cdf
+from repro.analysis.render import format_table, format_series
+
+__all__ = [
+    "ClientInfo",
+    "parse_client_id",
+    "service_table",
+    "network_stats",
+    "useless_fraction",
+    "freshness_cdf",
+    "format_table",
+    "format_series",
+]

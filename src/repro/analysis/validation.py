@@ -1,0 +1,74 @@
+"""Internal-validation analyses (§5.2, Figures 5-8).
+
+These wrap :class:`~repro.nodefinder.records.CrawlStats` into the exact
+series the paper plots, plus the §5.2 sanity predicates (constant
+discovery:dial ratio, static-dial ceiling at 48/day, time for instances to
+find each other).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.nodefinder.records import CrawlStats
+
+
+@dataclass
+class ValidationReport:
+    """Figures 5-8 series + §5.2 sanity checks."""
+
+    discovery_per_day: list = field(default_factory=list)
+    dials_per_day: list = field(default_factory=list)
+    ratio_series: list = field(default_factory=list)
+    unique_dialed_per_day: list = field(default_factory=list)
+    unique_responded_per_day: list = field(default_factory=list)
+    bootstrap_series: list = field(default_factory=list)
+    discovery_daily_average: float = 0.0
+    dial_daily_average: float = 0.0
+    dialed_daily_average: float = 0.0
+    responded_daily_average: float = 0.0
+    bootstrap_static_daily_average: float = 0.0
+    bootstrap_dynamic_daily_average: float = 0.0
+
+    def ratio_stability(self) -> float:
+        """Coefficient of variation of the dials/discovery ratio — the
+        paper's 'visibly constant' claim; small is stable."""
+        ratios = [ratio for _, ratio in self.ratio_series if ratio > 0]
+        if len(ratios) < 2:
+            return 0.0
+        mean = sum(ratios) / len(ratios)
+        variance = sum((r - mean) ** 2 for r in ratios) / len(ratios)
+        return (variance**0.5) / mean if mean else 0.0
+
+
+def build_validation_report(stats: CrawlStats, skip_first_days: int = 1) -> ValidationReport:
+    report = ValidationReport()
+    report.discovery_per_day = stats.series("discovery_attempts")
+    report.dials_per_day = stats.series("dynamic_dial_attempts")
+    dials = dict(report.dials_per_day)
+    report.ratio_series = [
+        (day, dials.get(day, 0) / max(count, 1))
+        for day, count in report.discovery_per_day
+    ]
+    report.unique_dialed_per_day = stats.series("nodes_dialed")
+    report.unique_responded_per_day = stats.series("nodes_responded")
+    report.bootstrap_series = stats.bootstrap_series()
+    report.discovery_daily_average = stats.daily_average(
+        "discovery_attempts", skip_first_days
+    )
+    report.dial_daily_average = stats.daily_average(
+        "dynamic_dial_attempts", skip_first_days
+    )
+    report.dialed_daily_average = stats.daily_average("nodes_dialed", skip_first_days)
+    report.responded_daily_average = stats.daily_average(
+        "nodes_responded", skip_first_days
+    )
+    if report.bootstrap_series:
+        usable = report.bootstrap_series[skip_first_days:] or report.bootstrap_series
+        report.bootstrap_dynamic_daily_average = sum(
+            row[1] for row in usable
+        ) / len(usable)
+        report.bootstrap_static_daily_average = sum(
+            row[2] for row in usable
+        ) / len(usable)
+    return report

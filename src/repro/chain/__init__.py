@@ -1,0 +1,35 @@
+"""Blockchain substrate: headers, chains, forks, difficulty.
+
+NodeFinder never executes transactions, but it must speak fluent *header*
+Ethereum: hash headers, answer and issue GET_BLOCK_HEADERS, detect the DAO
+fork stamp, and reason about best-block freshness (Figure 14).  This package
+provides:
+
+* :mod:`repro.chain.header` — the 15-field Yellow-Paper block header with
+  canonical RLP hashing (our Mainnet genesis reproduces the real
+  ``d4e567...cb8fa3`` hash, which doubles as a codec known-answer test);
+* :mod:`repro.chain.difficulty` — Homestead/Byzantium difficulty rules;
+* :mod:`repro.chain.chain` — a fully-linked validated header chain;
+* :mod:`repro.chain.synthetic` — an O(1)-per-header deterministic chain used
+  by the ecosystem simulator for multi-million-block histories.
+"""
+
+from repro.chain.header import BlockHeader, EMPTY_UNCLES_HASH, EMPTY_TRIE_ROOT
+from repro.chain.genesis import (
+    mainnet_genesis,
+    custom_genesis,
+    MAINNET_GENESIS_HASH,
+)
+from repro.chain.chain import HeaderChain
+from repro.chain.synthetic import SyntheticChain
+
+__all__ = [
+    "BlockHeader",
+    "EMPTY_UNCLES_HASH",
+    "EMPTY_TRIE_ROOT",
+    "mainnet_genesis",
+    "custom_genesis",
+    "MAINNET_GENESIS_HASH",
+    "HeaderChain",
+    "SyntheticChain",
+]

@@ -1,0 +1,170 @@
+"""Command-line entry points: ``nodefinder <command>``.
+
+Commands:
+
+* ``demo``      — start a localhost network of live nodes and crawl it with
+  the real RLPx/DEVp2p/eth stack;
+* ``simulate``  — crawl a simulated ecosystem and print the headline
+  measurements (services, clients, networks, sanitisation);
+* ``casestudy`` — reproduce the §3 instrumented-client week (Table 1);
+* ``distance``  — reproduce the Figure 11 distance-metric comparison.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import sys
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    from repro.crypto.keys import PrivateKey
+    from repro.fullnode import start_localhost_network
+    from repro.nodefinder.wire import crawl_targets
+
+    async def run() -> int:
+        nodes = await start_localhost_network(args.nodes, blocks=args.blocks)
+        print(f"started {len(nodes)} live nodes on 127.0.0.1")
+        try:
+            db = await crawl_targets([node.enode for node in nodes], PrivateKey.generate())
+            for entry in db:
+                print(
+                    f"  {entry.node_id.hex()[:8]}  {entry.client_id}  "
+                    f"network={entry.network_id}  dao={entry.dao_side}  "
+                    f"rtt={entry.median_latency or 0:.4f}s"
+                )
+            print(f"harvested {len(db.nodes_with_status())} STATUS messages")
+        finally:
+            for node in nodes:
+                await node.stop()
+        return 0
+
+    return asyncio.run(run())
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    from repro.analysis.clients import client_share_table
+    from repro.analysis.ecosystem import network_stats, service_table, useless_fraction
+    from repro.analysis.render import format_table
+    from repro.nodefinder.fleet import run_fleet
+    from repro.nodefinder.sanitize import sanitize
+    from repro.nodefinder.scanner import NodeFinderConfig
+    from repro.simnet.population import PopulationConfig
+    from repro.simnet.world import SimWorld, WorldConfig
+
+    world = SimWorld(
+        WorldConfig(
+            population=PopulationConfig(
+                total_nodes=args.nodes, measurement_days=args.days, seed=args.seed
+            )
+        )
+    )
+    fleet = run_fleet(
+        world,
+        instance_count=args.instances,
+        days=args.days,
+        config=NodeFinderConfig(discovery_interval=args.discovery_interval),
+    )
+    db, report = sanitize(fleet.merged_db, fleet.own_node_ids())
+    print(
+        f"crawled {report.total_nodes} node IDs over {args.days} sim-days; "
+        f"{len(report.abusive_node_ids)} abusive ({report.abusive_fraction:.1%}) "
+        f"on {len(report.abusive_ips)} IPs removed"
+    )
+    print()
+    print(format_table("DEVp2p services (Table 3)", ["service", "count", "share"],
+                       service_table(db)))
+    print()
+    print(format_table("Mainnet clients (Table 4)", ["client", "count", "share"],
+                       client_share_table(db.mainnet_nodes())))
+    print()
+    stats = network_stats(db)
+    print(f"networks: {stats.distinct_network_ids} ids, "
+          f"{stats.distinct_genesis_hashes} genesis hashes, "
+          f"{stats.single_peer_networks} single-peer, "
+          f"mainnet share {stats.mainnet_share:.1%}")
+    print(f"useless-peer fraction (§6.1): {useless_fraction(db):.1%}")
+    return 0
+
+
+def _cmd_casestudy(args: argparse.Namespace) -> int:
+    from repro.analysis.render import format_table
+    from repro.simnet.casestudy import GETH_PROFILE, PARITY_PROFILE, run_case_study
+
+    for profile in (GETH_PROFILE, PARITY_PROFILE):
+        result = run_case_study(profile, days=args.days)
+        print(
+            f"{profile.name}: reached {profile.max_peers} peers in "
+            f"{result.minutes_to_max:.0f} min; at max {result.time_at_max_fraction:.1%} of the time"
+        )
+        print(format_table(
+            f"Disconnect reasons ({profile.name})",
+            ["reason", "received", "sent"],
+            result.table1_rows(),
+        ))
+        print()
+    return 0
+
+
+def _cmd_distance(args: argparse.Namespace) -> int:
+    from repro.analysis.distance import simulate_distance_distribution, simulate_friction
+
+    dist = simulate_distance_distribution(trials=args.trials, hash_ids=not args.fast)
+    print(f"{dist.trials} random node-ID pairs:")
+    print(f"  Geth   mode distance: {dist.geth_mode()}  (paper: 256)")
+    print(f"  Parity mode distance: {dist.parity_mode()}  (paper: ~224)")
+    print("  distance   Geth     Parity")
+    parity = dict(dist.parity.items())
+    for distance in range(200, 257, 4):
+        print(
+            f"  {distance:>8}   {dist.geth.get(distance, 0) / dist.trials:6.3f}"
+            f"   {parity.get(distance, 0) / dist.trials:6.3f}"
+        )
+    friction = simulate_friction()
+    print(
+        f"FIND_NODE usefulness: geth-table mean improvement "
+        f"{friction.geth_mean_improvement:.2f} bits vs parity-table "
+        f"{friction.parity_mean_improvement:.2f} bits"
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="nodefinder",
+        description="Reproduction of 'Measuring Ethereum Network Peers' (IMC 2018)",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    demo = commands.add_parser("demo", help="crawl a live localhost network")
+    demo.add_argument("--nodes", type=int, default=4)
+    demo.add_argument("--blocks", type=int, default=16)
+    demo.set_defaults(func=_cmd_demo)
+
+    simulate = commands.add_parser("simulate", help="crawl a simulated ecosystem")
+    simulate.add_argument("--nodes", type=int, default=1000)
+    simulate.add_argument("--days", type=float, default=3.0)
+    simulate.add_argument("--instances", type=int, default=2)
+    simulate.add_argument("--seed", type=int, default=2018)
+    simulate.add_argument("--discovery-interval", type=float, default=60.0)
+    simulate.set_defaults(func=_cmd_simulate)
+
+    casestudy = commands.add_parser("casestudy", help="reproduce the §3 case study")
+    casestudy.add_argument("--days", type=float, default=7.0)
+    casestudy.set_defaults(func=_cmd_casestudy)
+
+    distance = commands.add_parser("distance", help="reproduce Figure 11")
+    distance.add_argument("--trials", type=int, default=20000)
+    distance.add_argument("--fast", action="store_true",
+                          help="sample hashes directly instead of hashing IDs")
+    distance.set_defaults(func=_cmd_distance)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

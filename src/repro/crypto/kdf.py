@@ -1,0 +1,29 @@
+"""NIST SP 800-56 concatenation KDF, as used by Geth's ECIES.
+
+Derives symmetric key material from an ECDH shared secret:
+``K = SHA256(counter_1 || Z || s1) || SHA256(counter_2 || Z || s1) || ...``
+with a 32-bit big-endian counter starting at 1.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from repro.errors import CryptoError
+
+
+def concat_kdf(shared_secret: bytes, length: int, shared_info: bytes = b"") -> bytes:
+    """Derive ``length`` bytes of key material from ``shared_secret``."""
+    if length <= 0:
+        raise CryptoError("KDF output length must be positive")
+    if length > 32 * 0xFFFFFFFF:
+        raise CryptoError("KDF output length too large")
+    output = bytearray()
+    counter = 1
+    while len(output) < length:
+        digest = hashlib.sha256(
+            counter.to_bytes(4, "big") + shared_secret + shared_info
+        ).digest()
+        output += digest
+        counter += 1
+    return bytes(output[:length])

@@ -1,0 +1,171 @@
+"""Keccak-256 (the pre-NIST variant used by Ethereum).
+
+Ethereum uses the original Keccak submission with multi-rate padding byte
+``0x01``, *not* FIPS-202 SHA3-256 (padding ``0x06``) — the two differ on
+every input, which is why ``hashlib.sha3_256`` cannot be used.  This module
+implements the Keccak-f[1600] permutation and a streaming sponge.
+
+RLPx depends on Keccak-256 in four places: the discovery distance metric
+(hash of the 512-bit node ID), discv4 packet hashes, the RLPx frame MAC
+(a raw Keccak sponge used as a running MAC), and block/genesis hashes.
+"""
+
+from __future__ import annotations
+
+_MASK = (1 << 64) - 1
+
+_ROUND_CONSTANTS = (
+    0x0000000000000001, 0x0000000000008082, 0x800000000000808A,
+    0x8000000080008000, 0x000000000000808B, 0x0000000080000001,
+    0x8000000080008081, 0x8000000000008009, 0x000000000000008A,
+    0x0000000000000088, 0x0000000080008009, 0x000000008000000A,
+    0x000000008000808B, 0x800000000000008B, 0x8000000000008089,
+    0x8000000000008003, 0x8000000000008002, 0x8000000000000080,
+    0x000000000000800A, 0x800000008000000A, 0x8000000080008081,
+    0x8000000000008080, 0x0000000080000001, 0x8000000080008008,
+)
+
+# Rotation offsets for the rho step, indexed x + 5*y.
+_ROTATIONS = (
+    0, 1, 62, 28, 27,
+    36, 44, 6, 55, 20,
+    3, 10, 43, 25, 39,
+    41, 45, 15, 21, 8,
+    18, 2, 61, 56, 14,
+)
+
+# pi step destination: lane (x, y) moves to (y, 2x + 3y).  Precompute the
+# source index for each destination index.
+_PI_SOURCES = tuple(
+    (x + 3 * y) % 5 + 5 * x for y in range(5) for x in range(5)
+)
+
+
+def _rol(value: int, shift: int) -> int:
+    if shift == 0:
+        return value
+    return ((value << shift) | (value >> (64 - shift))) & _MASK
+
+
+def keccak_f1600_reference(state: list[int]) -> list[int]:
+    """Apply the 24-round Keccak-f[1600] permutation to 25 64-bit lanes.
+
+    Readable spec-shaped implementation; production code routes through the
+    unrolled variant (same function, generated) in :mod:`repro.crypto._keccak_f`.
+    """
+    a = state
+    for rc in _ROUND_CONSTANTS:
+        # theta
+        c = [
+            a[x] ^ a[x + 5] ^ a[x + 10] ^ a[x + 15] ^ a[x + 20]
+            for x in range(5)
+        ]
+        d = [c[(x - 1) % 5] ^ _rol(c[(x + 1) % 5], 1) for x in range(5)]
+        a = [a[i] ^ d[i % 5] for i in range(25)]
+        # rho and pi combined
+        b = [0] * 25
+        for i in range(25):
+            src = _PI_SOURCES[i]
+            b[i] = _rol(a[src], _ROTATIONS[src])
+        # chi
+        a = [
+            b[i] ^ ((~b[(i % 5 + 1) % 5 + 5 * (i // 5)]) & _MASK
+                    & b[(i % 5 + 2) % 5 + 5 * (i // 5)])
+            for i in range(25)
+        ]
+        # iota
+        a[0] ^= rc
+    return a
+
+
+from repro.crypto._keccak_f import keccak_f1600_unrolled as keccak_f1600  # noqa: E402
+
+
+class KeccakSponge:
+    """Streaming Keccak sponge with configurable rate and padding.
+
+    The RLPx frame MAC (:mod:`repro.rlpx.frame`) uses this directly as a
+    never-finalised running hash, updating and snapshotting digests, so the
+    sponge supports both incremental absorption and copy().
+    """
+
+    def __init__(self, rate_bytes: int, output_bytes: int, pad_byte: int = 0x01):
+        if rate_bytes % 8 != 0 or not 0 < rate_bytes < 200:
+            raise ValueError(f"invalid sponge rate: {rate_bytes}")
+        self.rate = rate_bytes
+        self.output_bytes = output_bytes
+        self.pad_byte = pad_byte
+        self._state = [0] * 25
+        self._buffer = b""
+
+    def copy(self) -> "KeccakSponge":
+        clone = KeccakSponge(self.rate, self.output_bytes, self.pad_byte)
+        clone._state = list(self._state)
+        clone._buffer = self._buffer
+        return clone
+
+    def update(self, data: bytes) -> "KeccakSponge":
+        self._buffer += bytes(data)
+        while len(self._buffer) >= self.rate:
+            block, self._buffer = self._buffer[: self.rate], self._buffer[self.rate :]
+            self._absorb(block)
+        return self
+
+    def _absorb(self, block: bytes) -> None:
+        state = self._state
+        for i in range(self.rate // 8):
+            state[i] ^= int.from_bytes(block[8 * i : 8 * i + 8], "little")
+        self._state = keccak_f1600(state)
+
+    def digest(self) -> bytes:
+        """Return the digest of everything absorbed so far (non-destructive)."""
+        pending = bytearray(self._buffer)
+        pending.append(self.pad_byte)
+        while len(pending) % self.rate != 0:
+            pending.append(0)
+        pending[-1] ^= 0x80
+        state = list(self._state)
+        for offset in range(0, len(pending), self.rate):
+            block = bytes(pending[offset : offset + self.rate])
+            for i in range(self.rate // 8):
+                state[i] ^= int.from_bytes(block[8 * i : 8 * i + 8], "little")
+            state = keccak_f1600(state)
+        out = bytearray()
+        while len(out) < self.output_bytes:
+            for lane in state[: self.rate // 8]:
+                out += lane.to_bytes(8, "little")
+                if len(out) >= self.output_bytes:
+                    break
+            else:
+                state = keccak_f1600(state)
+                continue
+            break
+        return bytes(out[: self.output_bytes])
+
+    def hexdigest(self) -> str:
+        return self.digest().hex()
+
+
+class Keccak256(KeccakSponge):
+    """Keccak-256: rate 136 bytes, 32-byte output, padding ``0x01``."""
+
+    def __init__(self, data: bytes = b"") -> None:
+        super().__init__(rate_bytes=136, output_bytes=32, pad_byte=0x01)
+        if data:
+            self.update(data)
+
+    def copy(self) -> "Keccak256":
+        clone = Keccak256()
+        clone._state = list(self._state)
+        clone._buffer = self._buffer
+        return clone
+
+
+def keccak256(data: bytes) -> bytes:
+    """One-shot Keccak-256 digest of ``data``."""
+    return Keccak256(data).digest()
+
+
+def keccak512(data: bytes) -> bytes:
+    """One-shot Keccak-512 digest (rate 72); used by some DHT variants."""
+    return KeccakSponge(rate_bytes=72, output_bytes=64).update(data).digest()

@@ -1,0 +1,27 @@
+"""External datasets: paper reference numbers and comparator sources.
+
+* :mod:`repro.datasets.reference` — every number the paper reports, as
+  constants, so benchmarks can print paper-vs-measured side by side;
+* :mod:`repro.datasets.ethernodes` — a simulated ethernodes.org crawler
+  with that site's coverage characteristics (§5.3, Table 2);
+* :mod:`repro.datasets.p2p_history` — the Gnutella / BitTorrent / Bitcoin
+  comparison datasets (§7, Table 6, Figure 13), shaped per the studies the
+  paper cites.
+"""
+
+from repro.datasets import reference
+from repro.datasets.ethernodes import EthernodesCrawler, EthernodesSnapshot
+from repro.datasets.p2p_history import (
+    NETWORK_SIZES,
+    latency_cdf_bitnodes,
+    latency_cdf_gnutella,
+)
+
+__all__ = [
+    "reference",
+    "EthernodesCrawler",
+    "EthernodesSnapshot",
+    "NETWORK_SIZES",
+    "latency_cdf_gnutella",
+    "latency_cdf_bitnodes",
+]

@@ -1,0 +1,142 @@
+"""Every number the paper reports, as constants.
+
+Benchmarks print these beside measured values so the reproduction can be
+judged on *shape*: who wins, by what factor, where the fractions sit.
+All values transcribed from Kim et al., IMC 2018.
+"""
+
+# --- headline counts (§5, §6.1) -------------------------------------------
+
+TOTAL_NODE_IDS_DISCOVERED = 3_023_275
+NODES_WITH_RLPX_CONNECTION = 357_710
+NODES_WITH_DEVP2P_HELLO = 356_492
+NODES_WITH_ETH_STATUS = 323_584
+USELESS_PEER_FRACTION = 0.482
+MEASUREMENT_DAYS = 82
+
+# --- Table 1: case-study disconnect reasons (received, sent) ---------------
+
+TABLE1_GETH = {
+    "Too many peers": (3_938, 2_073_995),
+    "Subprotocol error": (433, 3_856),
+    "Disconnect requested": (967, 2_730),
+    "Useless peer": (41, 1_859),
+    "Already connected": (31, 124),
+    "Read timeout": (15, 24),
+    "Client quitting": (3, 3),
+}
+TABLE1_PARITY = {
+    "Too many peers": (113_014, 1_493_488),
+    "Subprotocol error": (174, 0),
+    "Disconnect requested": (2_741, 9_322),
+    "Useless peer": (108, 168_341),
+    "Already connected": (2_681, 124),
+    "Read timeout": (10, 14_780),
+    "Client quitting": (1, 0),
+}
+
+# case-study client behaviour (§3)
+GETH_MAX_PEERS = 25
+PARITY_MAX_PEERS = 50
+GETH_TIME_AT_MAX = 0.991
+PARITY_TIME_AT_MAX = 0.915
+
+# --- internal validation (§5.2, Figures 5-8) -------------------------------
+
+DISCOVERY_ATTEMPTS_PER_DAY = 219_180       # fleet total, stable period
+DYNAMIC_DIAL_ATTEMPTS_PER_DAY = 5_328_144  # fleet total
+DISCOVERY_ATTEMPTS_PER_HOUR_PER_INSTANCE = 304
+NORMAL_GETH_DISCOVERY_PER_HOUR = 180
+UNIQUE_NODES_DIALED_PER_DAY = 34_730
+UNIQUE_NODES_RESPONDED_PER_DAY = 10_919
+BOOTSTRAP_DYNAMIC_DIALS_PER_DAY = 6
+BOOTSTRAP_STATIC_DIALS_PER_DAY = 44
+MAX_STATIC_DIALS_PER_DAY = 48              # 30-minute interval ceiling
+INSTANCE_COUNT = 30
+TIME_TO_FIND_ALL_INSTANCES_HOURS = (3, 9)  # fastest, slowest (§5.2)
+
+# --- Table 2: NodeFinder vs Ethernodes (April 23-24 snapshot) ---------------
+
+ETHERNODES_MAINNET_PAGE_LISTED = 20_437
+ETHERNODES_MAINNET_VERIFIED = 4_717
+NODEFINDER_MAINNET_24H = 16_831
+NODEFINDER_REACHABLE = 5_951
+NODEFINDER_UNREACHABLE = 10_880
+OVERLAP_BOTH = 3_856
+OVERLAP_REACHABLE = 2_620
+OVERLAP_UNREACHABLE = 1_236
+ETHERNODES_ONLY = 861  # 4,717 - 3,856
+ETHERNODES_COVERAGE_OF_OVERLAP = 0.818
+
+# --- §5.4 sanitisation -------------------------------------------------------
+
+ABUSIVE_NODE_IDS = 97_930
+ABUSIVE_FRACTION = 0.215
+ABUSIVE_IPS = 1_256
+ABUSIVE_IP_FRACTION = 0.003
+FLAGSHIP_ABUSIVE_IP_NODES = 42_237
+SCANNER_NODES_EXCLUDED = 242
+OWN_SCANNER_NODES = 37
+
+# --- Table 3: DEVp2p services -----------------------------------------------
+
+TABLE3_SERVICES = {
+    "eth": (335_036, 0.9398),
+    "bzz": (6_579, 0.0185),
+    "les": (4_431, 0.0124),
+    "exp": (1_800, 0.0050),
+    "istanbul": (1_647, 0.0046),
+    "shh": (1_622, 0.0045),
+    "dbix": (1_010, 0.0028),
+    "pip": (945, 0.0027),
+    "mc": (583, 0.0016),
+    "ele": (286, 0.0008),
+    "unknown": (30, 0.0001),
+    "others": (2_523, 0.0071),
+}
+
+# --- Figure 9: networks and genesis hashes ------------------------------------
+
+DISTINCT_NETWORK_IDS = 4_076
+DISTINCT_GENESIS_HASHES = 18_829
+SINGLE_PEER_NETWORKS = 1_402
+FAKE_MAINNET_GENESIS_PEERS = 10_497
+FAKE_MAINNET_GENESIS_NETWORKS = 1_459
+ALTCOIN_SHARES = {"musicoin": 0.015, "pirl": 0.015, "ubiq": 0.011}
+
+# --- Tables 4-5: clients and versions -------------------------------------------
+
+CLIENT_SHARES = {"geth": 0.766, "parity": 0.170, "ethereumjs": 0.052, "others": 0.012}
+OTHER_CLIENT_COUNT = 31
+GETH_STABLE_FRACTION = 0.819
+PARITY_STABLE_FRACTION = 0.562
+NEWEST_GETH_SHARE = 0.006     # v1.8.12, released 3 days before window end
+NEWEST_PARITY_SHARE = 0.001   # v1.10.9, released 1 day before window end
+GETH_OLDER_THAN_TWO_RELEASES = 0.683  # on the final day
+GETH_PRE_BYZANTIUM_FRACTION = 0.035
+
+# --- Table 6: network sizes -------------------------------------------------------
+
+TABLE6_NETWORK_SIZES = {
+    "Ethereum (NodeFinder)": 15_454,
+    "Ethereum (Ethernodes)": 4_717,
+    "Ethereum (Gencer et al.)": 4_302,
+    "Bitcoin (Bitnodes)": 10_454,
+    "Gnutella (SNAP, 2002)": 62_586,
+}
+
+# --- §7.2 geography / ASes ---------------------------------------------------------
+
+US_NODE_FRACTION = 0.432
+CN_NODE_FRACTION = 0.129
+TOP8_AS_FRACTION = 0.448
+
+# --- Figure 14: freshness -------------------------------------------------------------
+
+STALE_NODE_FRACTION = 0.327
+NODES_STUCK_AT_BYZANTIUM = 141
+BYZANTIUM_STUCK_BLOCK = 4_370_001
+
+# --- §6.3: the distance-metric bug ----------------------------------------------------
+
+FIGURE11_TRIALS = 100_000

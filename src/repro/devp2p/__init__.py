@@ -1,0 +1,38 @@
+"""DEVp2p: the application-session protocol above RLPx.
+
+Once the encrypted channel exists, peers exchange HELLO messages describing
+their client, capabilities, and listening port; negotiate shared
+subprotocols; keep the session alive with PING/PONG; and end it with a
+DISCONNECT carrying one of sixteen reason codes (paper §2.2, Table 1).
+"""
+
+from repro.devp2p.messages import (
+    Capability,
+    DisconnectMessage,
+    DisconnectReason,
+    HelloMessage,
+    PingMessage,
+    PongMessage,
+    HELLO_CODE,
+    DISCONNECT_CODE,
+    PING_CODE,
+    PONG_CODE,
+)
+from repro.devp2p.capabilities import match_capabilities, offset_table
+from repro.devp2p.peer import DevP2PPeer
+
+__all__ = [
+    "Capability",
+    "HelloMessage",
+    "DisconnectMessage",
+    "DisconnectReason",
+    "PingMessage",
+    "PongMessage",
+    "HELLO_CODE",
+    "DISCONNECT_CODE",
+    "PING_CODE",
+    "PONG_CODE",
+    "match_capabilities",
+    "offset_table",
+    "DevP2PPeer",
+]

@@ -1,0 +1,79 @@
+"""Capability negotiation.
+
+Both HELLOs list ``(name, version)`` capabilities.  The shared set is
+computed per Geth's ``matchProtocols``: for each name both sides support,
+pick the highest common version; order the shared capabilities
+alphabetically by name; and assign each a contiguous message-code range
+starting at 0x10, sized by the protocol's message count.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, NamedTuple, Sequence
+
+from repro.devp2p.messages import BASE_PROTOCOL_LENGTH, Capability
+
+#: Message-space sizes for known subprotocols (Geth's Protocol.Length).
+PROTOCOL_LENGTHS = {
+    ("eth", 62): 8,
+    ("eth", 63): 17,
+    ("les", 1): 15,
+    ("les", 2): 21,
+    ("bzz", 0): 14,
+    ("shh", 6): 300,
+    ("pip", 1): 21,
+}
+
+DEFAULT_PROTOCOL_LENGTH = 16
+
+
+def protocol_length(capability: Capability) -> int:
+    """Number of message codes a capability occupies."""
+    return PROTOCOL_LENGTHS.get(
+        (capability.name, capability.version), DEFAULT_PROTOCOL_LENGTH
+    )
+
+
+def match_capabilities(
+    ours: Sequence[Capability], theirs: Sequence[Capability]
+) -> list[Capability]:
+    """The negotiated shared capabilities, name-sorted, best version each."""
+    theirs_set = set(theirs)
+    best: dict[str, Capability] = {}
+    for capability in ours:
+        if capability not in theirs_set:
+            continue
+        current = best.get(capability.name)
+        if current is None or capability.version > current.version:
+            best[capability.name] = capability
+    return sorted(best.values(), key=lambda capability: capability.name)
+
+
+class ProtocolOffset(NamedTuple):
+    """A negotiated capability and its first message code."""
+
+    capability: Capability
+    offset: int
+    length: int
+
+    def contains(self, code: int) -> bool:
+        return self.offset <= code < self.offset + self.length
+
+
+def offset_table(shared: Iterable[Capability]) -> list[ProtocolOffset]:
+    """Assign message-code ranges to the negotiated capabilities."""
+    table: list[ProtocolOffset] = []
+    offset = BASE_PROTOCOL_LENGTH
+    for capability in shared:
+        length = protocol_length(capability)
+        table.append(ProtocolOffset(capability, offset, length))
+        offset += length
+    return table
+
+
+def route_code(table: Sequence[ProtocolOffset], code: int) -> ProtocolOffset | None:
+    """Find which negotiated protocol owns absolute message code ``code``."""
+    for entry in table:
+        if entry.contains(code):
+            return entry
+    return None

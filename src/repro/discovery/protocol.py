@@ -1,0 +1,345 @@
+"""Asyncio UDP endpoint speaking discv4.
+
+Implements the observable behaviour of Geth's ``p2p/discover``:
+
+* **endpoint proof (bonding)** — a node answers FIND_NODE only for peers it
+  has exchanged PING/PONG with recently; unbonded queries trigger a PING
+  back instead of an answer;
+* **iterative lookup** — query the ``ALPHA`` closest known nodes for a
+  target, merge their NEIGHBORS, repeat until convergence (paper §2.1);
+* **NEIGHBORS chunking** — answers are split so no datagram exceeds 1280
+  bytes (Geth sends at most :data:`MAX_NEIGHBORS_PER_PACKET` per datagram);
+* **table maintenance** — PONGs and valid queries refresh the routing
+  table; full buckets trigger the Kademlia eviction check.
+
+This runs over real UDP sockets (tests bind to 127.0.0.1) and is the same
+code path NodeFinder's discovery stage drives.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import logging
+import time
+from typing import Iterable, Optional
+
+from repro.crypto.keys import PrivateKey
+from repro.discovery.enode import ENode
+from repro.discovery.packets import (
+    DecodedPacket,
+    Endpoint,
+    FindNodePacket,
+    NeighborRecord,
+    NeighborsPacket,
+    PingPacket,
+    PongPacket,
+    DISCOVERY_PROTOCOL_VERSION,
+    decode_packet,
+    default_expiration,
+    encode_packet,
+)
+from repro.discovery.routing import ALPHA, K_NEIGHBORS, RoutingTable
+from repro.errors import BadPacket, DiscoveryError
+
+logger = logging.getLogger(__name__)
+
+#: Geth caps NEIGHBORS packets at 12 records to stay under 1280 bytes.
+MAX_NEIGHBORS_PER_PACKET = 12
+
+#: How long an endpoint proof (bond) remains valid, seconds.
+BOND_EXPIRATION = 12 * 3600
+
+#: How long to wait for a PONG / NEIGHBORS reply, seconds.
+REPLY_TIMEOUT = 0.5
+
+
+class DiscoveryService(asyncio.DatagramProtocol):
+    """One discv4 endpoint bound to a UDP socket."""
+
+    def __init__(
+        self,
+        private_key: PrivateKey,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        bootstrap_nodes: Iterable[ENode] = (),
+        bucket_size: int = 16,
+        reply_timeout: float = REPLY_TIMEOUT,
+    ) -> None:
+        self.private_key = private_key
+        self.node_id = private_key.public_key.to_bytes()
+        self.host = host
+        self.port = port
+        #: TCP port advertised in PINGs/ENode records; a node's RLPx
+        #: listener usually differs from its UDP socket — callers set this
+        #: once their TCP server is bound (defaults to the UDP port).
+        self.tcp_port: int | None = None
+        self.bootstrap_nodes = list(bootstrap_nodes)
+        self.table = RoutingTable.for_node_id(self.node_id, bucket_size=bucket_size)
+        self.reply_timeout = reply_timeout
+        self._transport: Optional[asyncio.DatagramTransport] = None
+        self._bonds: dict[bytes, float] = {}
+        self._pending_pongs: dict[tuple[str, int], list[asyncio.Future]] = {}
+        self._pending_neighbors: dict[tuple[str, int], list[asyncio.Future]] = {}
+        self._sent_pings: dict[bytes, bytes] = {}  # packet hash -> node id
+        self.stats = {
+            "pings_sent": 0,
+            "pongs_sent": 0,
+            "findnodes_sent": 0,
+            "neighbors_sent": 0,
+            "packets_received": 0,
+            "bad_packets": 0,
+        }
+
+    # -- lifecycle ---------------------------------------------------------
+
+    async def listen(self) -> "DiscoveryService":
+        """Bind the UDP socket; ``self.port`` is updated with the real port."""
+        loop = asyncio.get_running_loop()
+        transport, _ = await loop.create_datagram_endpoint(
+            lambda: self, local_addr=(self.host, self.port)
+        )
+        self._transport = transport
+        self.port = transport.get_extra_info("sockname")[1]
+        return self
+
+    def close(self) -> None:
+        if self._transport is not None:
+            self._transport.close()
+            self._transport = None
+
+    @property
+    def advertised_tcp_port(self) -> int:
+        return self.tcp_port if self.tcp_port is not None else self.port
+
+    @property
+    def local_enode(self) -> ENode:
+        return ENode(
+            node_id=self.node_id,
+            ip=self.host,
+            udp_port=self.port,
+            tcp_port=self.advertised_tcp_port,
+        )
+
+    @property
+    def endpoint(self) -> Endpoint:
+        return Endpoint(self.host, self.port, self.advertised_tcp_port)
+
+    # -- datagram plumbing ---------------------------------------------------
+
+    def connection_made(self, transport: asyncio.BaseTransport) -> None:
+        self._transport = transport  # type: ignore[assignment]
+
+    def datagram_received(self, data: bytes, addr: tuple[str, int]) -> None:
+        self.stats["packets_received"] += 1
+        try:
+            decoded = decode_packet(data)
+        except BadPacket as exc:
+            self.stats["bad_packets"] += 1
+            logger.debug("bad packet from %s: %s", addr, exc)
+            return
+        handler = {
+            PingPacket: self._handle_ping,
+            PongPacket: self._handle_pong,
+            FindNodePacket: self._handle_findnode,
+            NeighborsPacket: self._handle_neighbors,
+        }[type(decoded.packet)]
+        handler(decoded, addr)
+
+    def _send(self, packet, addr: tuple[str, int]) -> bytes:
+        if self._transport is None:
+            raise DiscoveryError("discovery service is not listening")
+        datagram = encode_packet(packet, self.private_key)
+        self._transport.sendto(datagram, addr)
+        return datagram[:32]  # the packet hash
+
+    # -- handlers ------------------------------------------------------------
+
+    def _handle_ping(self, decoded: DecodedPacket, addr: tuple[str, int]) -> None:
+        ping: PingPacket = decoded.packet  # type: ignore[assignment]
+        pong = PongPacket(
+            recipient=Endpoint(addr[0], addr[1], ping.sender.tcp_port),
+            ping_hash=decoded.packet_hash,
+            expiration=default_expiration(),
+        )
+        self._send(pong, addr)
+        self.stats["pongs_sent"] += 1
+        sender_id = decoded.sender_node_id
+        self._bonds[sender_id] = time.monotonic()
+        node = ENode(
+            node_id=sender_id,
+            ip=addr[0],
+            udp_port=addr[1],
+            tcp_port=ping.sender.tcp_port or addr[1],
+        )
+        self._table_add(node)
+
+    def _handle_pong(self, decoded: DecodedPacket, addr: tuple[str, int]) -> None:
+        sender_id = decoded.sender_node_id
+        self._bonds[sender_id] = time.monotonic()
+        pong: PongPacket = decoded.packet  # type: ignore[assignment]
+        node = ENode(node_id=sender_id, ip=addr[0], udp_port=addr[1], tcp_port=addr[1])
+        self._table_add(node)
+        waiters = self._pending_pongs.pop(addr, [])
+        for waiter in waiters:
+            if not waiter.done():
+                waiter.set_result(pong)
+
+    def _handle_findnode(self, decoded: DecodedPacket, addr: tuple[str, int]) -> None:
+        sender_id = decoded.sender_node_id
+        if not self.is_bonded(sender_id):
+            # Endpoint proof missing: Geth ignores the query and pings back.
+            asyncio.ensure_future(self.ping_addr(addr))
+            return
+        find: FindNodePacket = decoded.packet  # type: ignore[assignment]
+        from repro.crypto.keccak import keccak256
+
+        target_hash = keccak256(find.target)
+        closest = self.table.closest_to(target_hash, K_NEIGHBORS)
+        records = [
+            NeighborRecord(node.ip, node.udp_port, node.tcp_port, node.node_id)
+            for node in closest
+        ]
+        starts = range(0, len(records), MAX_NEIGHBORS_PER_PACKET) if records else [0]
+        for start in starts:
+            chunk = records[start : start + MAX_NEIGHBORS_PER_PACKET]
+            packet = NeighborsPacket(nodes=chunk, expiration=default_expiration())
+            self._send(packet, addr)
+            self.stats["neighbors_sent"] += 1
+
+    def _handle_neighbors(self, decoded: DecodedPacket, addr: tuple[str, int]) -> None:
+        neighbors: NeighborsPacket = decoded.packet  # type: ignore[assignment]
+        waiters = self._pending_neighbors.get(addr, [])
+        for waiter in waiters:
+            if not waiter.done():
+                waiter.set_result(neighbors)
+                break
+
+    def _table_add(self, node: ENode) -> None:
+        candidate = self.table.add(node)
+        if candidate is not None:
+            # Bucket full: Kademlia eviction check — ping the old node.
+            asyncio.ensure_future(self._eviction_check(candidate))
+
+    async def _eviction_check(self, candidate: ENode) -> None:
+        alive = await self.ping(candidate)
+        if alive:
+            self.table.confirm_alive(candidate)
+        else:
+            self.table.evict(candidate)
+
+    # -- client operations -----------------------------------------------------
+
+    def is_bonded(self, node_id: bytes) -> bool:
+        bonded_at = self._bonds.get(node_id)
+        return bonded_at is not None and time.monotonic() - bonded_at < BOND_EXPIRATION
+
+    async def ping_addr(self, addr: tuple[str, int]) -> Optional[PongPacket]:
+        """PING a bare address and await the PONG (or None on timeout)."""
+        ping = PingPacket(
+            version=DISCOVERY_PROTOCOL_VERSION,
+            sender=self.endpoint,
+            recipient=Endpoint(addr[0], addr[1], 0),
+            expiration=default_expiration(),
+        )
+        loop = asyncio.get_running_loop()
+        waiter: asyncio.Future = loop.create_future()
+        self._pending_pongs.setdefault(addr, []).append(waiter)
+        self._send(ping, addr)
+        self.stats["pings_sent"] += 1
+        try:
+            return await asyncio.wait_for(waiter, self.reply_timeout)
+        except asyncio.TimeoutError:
+            return None
+        finally:
+            pending = self._pending_pongs.get(addr, [])
+            if waiter in pending:
+                pending.remove(waiter)
+
+    async def ping(self, node: ENode) -> bool:
+        """PING ``node``; True if it answered in time."""
+        return await self.ping_addr(node.udp_address) is not None
+
+    async def bond(self, node: ENode) -> bool:
+        """Establish an endpoint proof with ``node`` (PING until PONG)."""
+        if self.is_bonded(node.node_id):
+            return True
+        return await self.ping(node)
+
+    async def find_node(self, node: ENode, target: bytes) -> list[NeighborRecord]:
+        """Send FIND_NODE to ``node``; returns its NEIGHBORS (possibly empty)."""
+        await self.bond(node)
+        packet = FindNodePacket(target=target, expiration=default_expiration())
+        loop = asyncio.get_running_loop()
+        waiter: asyncio.Future = loop.create_future()
+        addr = node.udp_address
+        self._pending_neighbors.setdefault(addr, []).append(waiter)
+        self._send(packet, addr)
+        self.stats["findnodes_sent"] += 1
+        try:
+            neighbors: NeighborsPacket = await asyncio.wait_for(
+                waiter, self.reply_timeout
+            )
+            return list(neighbors.nodes)
+        except asyncio.TimeoutError:
+            return []
+        finally:
+            pending = self._pending_neighbors.get(addr, [])
+            if waiter in pending:
+                pending.remove(waiter)
+
+    async def lookup(self, target: bytes) -> list[ENode]:
+        """Iterative Kademlia lookup toward a 64-byte target node ID.
+
+        Queries the ALPHA closest unqueried nodes each round, merging their
+        answers, until no closer nodes appear (paper §2.1).
+        """
+        from repro.crypto.keccak import keccak256
+
+        target_hash = keccak256(target)
+        for node in self.bootstrap_nodes:
+            self.table.add(node)
+        queried: set[bytes] = {self.node_id}
+        seen: dict[bytes, ENode] = {
+            node.node_id: node for node in self.table.closest_to(target_hash, K_NEIGHBORS)
+        }
+        while True:
+            candidates = sorted(
+                (node for node in seen.values() if node.node_id not in queried),
+                key=lambda node: int.from_bytes(node.id_hash, "big")
+                ^ int.from_bytes(target_hash, "big"),
+            )[:ALPHA]
+            if not candidates:
+                break
+            answers = await asyncio.gather(
+                *(self.find_node(node, target) for node in candidates)
+            )
+            for node in candidates:
+                queried.add(node.node_id)
+            progressed = False
+            for records in answers:
+                for record in records:
+                    if record.node_id == self.node_id or record.node_id in seen:
+                        continue
+                    try:
+                        found = ENode(
+                            node_id=record.node_id,
+                            ip=record.ip,
+                            udp_port=record.udp_port,
+                            tcp_port=record.tcp_port,
+                        )
+                    except (DiscoveryError, ValueError):
+                        continue
+                    seen[found.node_id] = found
+                    self.table.add(found)
+                    progressed = True
+            if not progressed:
+                break
+        return sorted(
+            seen.values(),
+            key=lambda node: int.from_bytes(node.id_hash, "big")
+            ^ int.from_bytes(target_hash, "big"),
+        )[:K_NEIGHBORS]
+
+    async def self_lookup(self) -> list[ENode]:
+        """Lookup of our own ID — how a node joins the network."""
+        return await self.lookup(self.node_id)

@@ -1,0 +1,86 @@
+"""Exception hierarchy for the repro package.
+
+Every layer of the stack raises a subclass of :class:`ReproError`, so callers
+can catch protocol-level failures without masking programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class RLPError(ReproError):
+    """Base class for RLP serialisation errors."""
+
+
+class EncodingError(RLPError):
+    """An object could not be encoded as RLP."""
+
+
+class DecodingError(RLPError):
+    """A byte string is not valid RLP or does not match the expected shape."""
+
+
+class DeserializationError(RLPError):
+    """Decoded RLP structure does not match the target sedes."""
+
+
+class CryptoError(ReproError):
+    """Base class for cryptographic failures."""
+
+
+class InvalidSignature(CryptoError):
+    """A signature failed verification or recovery."""
+
+
+class InvalidPublicKey(CryptoError):
+    """A byte string does not encode a valid secp256k1 public key."""
+
+class InvalidPrivateKey(CryptoError):
+    """A private key scalar is out of range."""
+
+
+class DecryptionError(CryptoError):
+    """ECIES or frame decryption failed (bad MAC, bad padding, ...)."""
+
+
+class DiscoveryError(ReproError):
+    """Base class for RLPx discovery (discv4) protocol errors."""
+
+
+class BadPacket(DiscoveryError):
+    """A discovery datagram failed validation (hash, signature, expiry)."""
+
+
+class HandshakeError(ReproError):
+    """The RLPx auth/ack handshake failed."""
+
+
+class FramingError(ReproError):
+    """An RLPx frame failed MAC verification or size checks."""
+
+
+class ProtocolError(ReproError):
+    """A DEVp2p or subprotocol message violated the protocol."""
+
+
+class PeerDisconnected(ReproError):
+    """The remote peer disconnected; ``reason`` carries the DEVp2p code."""
+
+    def __init__(self, reason: object = None) -> None:
+        super().__init__(f"peer disconnected: {reason}")
+        self.reason = reason
+
+
+class ChainError(ReproError):
+    """Base class for blockchain validation errors."""
+
+
+class InvalidHeader(ChainError):
+    """A block header failed validation."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulator was driven incorrectly."""

@@ -1,0 +1,47 @@
+"""Hard-fork constants and the DAO-fork side check.
+
+The DAO fork (paper §2.3 footnote 3) split Mainnet on 2016-07-20 at block
+1,920,000: pro-fork clients stamp that block's ``extra_data`` with the ASCII
+string ``dao-hard-fork``; Ethereum Classic clients do not.  NodeFinder
+requests exactly that header after the STATUS exchange and classifies the
+peer accordingly (§4).
+
+Byzantium activated at block 4,370,000; Figure 14 finds nodes stuck at
+4,370,001 because they run pre-Byzantium clients (§6.2, §7.3).
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+DAO_FORK_BLOCK = 1_920_000
+DAO_FORK_EXTRA_DATA = b"dao-hard-fork"
+
+BYZANTIUM_BLOCK = 4_370_000
+
+#: Geth v1.7.1 is "the first version fully compatible with Byzantium" (§6.2).
+FIRST_BYZANTIUM_GETH = (1, 7, 1)
+
+
+class DaoForkSide(Enum):
+    """Which side of the DAO fork a peer's chain is on."""
+
+    SUPPORTS_FORK = "supports"       # mainstream Ethereum
+    OPPOSES_FORK = "opposes"         # Ethereum Classic
+    PRE_FORK = "pre-fork"            # chain too short to have the block
+    UNKNOWN = "unknown"              # no/ambiguous answer
+
+
+def dao_fork_side(extra_data: bytes | None, best_block: int | None = None) -> DaoForkSide:
+    """Classify a peer from its DAO-fork-block header ``extra_data``.
+
+    ``None`` means the peer returned no header; with a known ``best_block``
+    below the fork height that is expected (PRE_FORK), otherwise UNKNOWN.
+    """
+    if extra_data is None:
+        if best_block is not None and best_block < DAO_FORK_BLOCK:
+            return DaoForkSide.PRE_FORK
+        return DaoForkSide.UNKNOWN
+    if extra_data == DAO_FORK_EXTRA_DATA:
+        return DaoForkSide.SUPPORTS_FORK
+    return DaoForkSide.OPPOSES_FORK

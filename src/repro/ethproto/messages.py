@@ -1,0 +1,184 @@
+"""eth/62-63 message schemas (relative codes within the negotiated range)."""
+
+from __future__ import annotations
+
+from repro.errors import DeserializationError
+from repro.rlp.sedes import (
+    CountableList,
+    RawSedes,
+    Sedes,
+    Serializable,
+    big_endian_int,
+    binary,
+    hash32,
+)
+
+ETH_62 = 62
+ETH_63 = 63
+
+# Relative message codes.
+STATUS = 0x00
+NEW_BLOCK_HASHES = 0x01
+TRANSACTIONS = 0x02
+GET_BLOCK_HEADERS = 0x03
+BLOCK_HEADERS = 0x04
+GET_BLOCK_BODIES = 0x05
+BLOCK_BODIES = 0x06
+NEW_BLOCK = 0x07
+GET_NODE_DATA = 0x0D
+NODE_DATA = 0x0E
+GET_RECEIPTS = 0x0F
+RECEIPTS = 0x10
+
+#: The Ethereum Mainnet network ID (paper §2.3).
+MAINNET_NETWORK_ID = 1
+
+#: The Mainnet genesis hash ``d4e567...cb8fa3`` (paper §2.3, §5.3).
+MAINNET_GENESIS_HASH = bytes.fromhex(
+    "d4e56740f876aef8c010b86a40d5f56745a118d0906a34e69aec8c0db1cb8fa3"
+)
+
+
+class StatusMessage(Serializable):
+    """STATUS: the mandatory first eth message after HELLO."""
+
+    code = STATUS
+    allow_extra_fields = True
+    fields = [
+        ("protocol_version", big_endian_int),
+        ("network_id", big_endian_int),
+        ("total_difficulty", big_endian_int),
+        ("best_hash", hash32),
+        ("genesis_hash", hash32),
+    ]
+
+    def same_chain_as(self, other: "StatusMessage") -> bool:
+        """True if both peers claim the same network and genesis."""
+        return (
+            self.network_id == other.network_id
+            and self.genesis_hash == other.genesis_hash
+        )
+
+    @property
+    def is_mainnet(self) -> bool:
+        return (
+            self.network_id == MAINNET_NETWORK_ID
+            and self.genesis_hash == MAINNET_GENESIS_HASH
+        )
+
+
+class _HashOrNumberSedes(Sedes):
+    """GET_BLOCK_HEADERS origin: either a 32-byte hash or a block number."""
+
+    def serialize(self, obj: object):
+        if isinstance(obj, bytes):
+            if len(obj) != 32:
+                raise DeserializationError("origin hash must be 32 bytes")
+            return obj
+        if isinstance(obj, int):
+            return big_endian_int.serialize(obj)
+        raise DeserializationError("origin must be bytes or int")
+
+    def deserialize(self, serial: object):
+        if not isinstance(serial, bytes):
+            raise DeserializationError("origin must be a byte string")
+        if len(serial) == 32:
+            return serial
+        return big_endian_int.deserialize(serial)
+
+
+class GetBlockHeadersMessage(Serializable):
+    """Request up to ``amount`` headers walking from ``origin``.
+
+    ``skip`` headers are skipped between results; ``reverse`` walks toward
+    the genesis block.  NodeFinder's DAO check is exactly
+    ``GetBlockHeaders(origin=1920000, amount=1, skip=0, reverse=False)``.
+    """
+
+    code = GET_BLOCK_HEADERS
+    fields = [
+        ("origin", _HashOrNumberSedes()),
+        ("amount", big_endian_int),
+        ("skip", big_endian_int),
+        ("reverse", big_endian_int),
+    ]
+
+
+class BlockHeadersMessage(Serializable):
+    """A list of raw header structures (decoded by :mod:`repro.chain`)."""
+
+    code = BLOCK_HEADERS
+    fields = [("headers", RawSedes())]
+
+    @classmethod
+    def from_headers(cls, headers) -> "BlockHeadersMessage":
+        return cls(headers=[header.serialize_rlp() for header in headers])
+
+
+class GetBlockBodiesMessage(Serializable):
+    code = GET_BLOCK_BODIES
+    fields = [("hashes", CountableList(hash32))]
+
+
+class BlockBodiesMessage(Serializable):
+    code = BLOCK_BODIES
+    fields = [("bodies", RawSedes())]
+
+
+class NewBlockHashesMessage(Serializable):
+    """Announcements of new blocks as [hash, number] pairs."""
+
+    code = NEW_BLOCK_HASHES
+    fields = [("announcements", RawSedes())]
+
+
+class TransactionsMessage(Serializable):
+    """Relayed pending transactions (opaque to the crawler)."""
+
+    code = TRANSACTIONS
+    fields = [("transactions", RawSedes())]
+
+
+class NewBlockMessage(Serializable):
+    code = NEW_BLOCK
+    fields = [("block", RawSedes()), ("total_difficulty", big_endian_int)]
+
+
+class GetNodeDataMessage(Serializable):
+    """Fast-sync state retrieval (eth/63 only, paper §2.3)."""
+
+    code = GET_NODE_DATA
+    fields = [("hashes", CountableList(hash32))]
+
+
+class NodeDataMessage(Serializable):
+    code = NODE_DATA
+    fields = [("values", CountableList(binary))]
+
+
+class GetReceiptsMessage(Serializable):
+    """Fast-sync receipt retrieval (eth/63 only, paper §2.3)."""
+
+    code = GET_RECEIPTS
+    fields = [("hashes", CountableList(hash32))]
+
+
+class ReceiptsMessage(Serializable):
+    code = RECEIPTS
+    fields = [("receipts", RawSedes())]
+
+
+MESSAGE_CLASSES = {
+    STATUS: StatusMessage,
+    NEW_BLOCK_HASHES: NewBlockHashesMessage,
+    TRANSACTIONS: TransactionsMessage,
+    GET_BLOCK_HEADERS: GetBlockHeadersMessage,
+    BLOCK_HEADERS: BlockHeadersMessage,
+    GET_BLOCK_BODIES: GetBlockBodiesMessage,
+    BLOCK_BODIES: BlockBodiesMessage,
+    NEW_BLOCK: NewBlockMessage,
+    GET_NODE_DATA: GetNodeDataMessage,
+    NODE_DATA: NodeDataMessage,
+    GET_RECEIPTS: GetReceiptsMessage,
+    RECEIPTS: ReceiptsMessage,
+}

@@ -1,0 +1,40 @@
+"""NodeFinder: the paper's measurement tool, rebuilt.
+
+NodeFinder is a Geth-derived crawler that (§4):
+
+* ignores the maximum-peer limit and accepts every incoming connection;
+* harvests exactly three exchanges per peer — DEVp2p HELLO, Ethereum
+  STATUS, and one GET_BLOCK_HEADERS for the DAO fork block — then
+  disconnects, holding peer slots for under a second;
+* re-dials every previously-seen node as a "static dial" every 30 minutes,
+  dropping addresses whose last successful TCP connection is over 24h old;
+* logs every HELLO/STATUS/DISCONNECT/DAO event with timestamp, node ID,
+  IP, port, connection type, latency, and duration.
+
+Two transports exist: :mod:`repro.nodefinder.scanner` drives the simulated
+world (all benchmarks), and :mod:`repro.nodefinder.wire` performs the same
+harvest over the real asyncio RLPx stack against live TCP nodes
+(integration tests and examples).
+"""
+
+from repro.nodefinder.database import NodeDB, NodeEntry
+from repro.nodefinder.records import CrawlStats, DayCounters
+from repro.nodefinder.sanitize import SanitizationReport, sanitize
+from repro.nodefinder.scanner import NodeFinderConfig, NodeFinderInstance
+from repro.nodefinder.fleet import Fleet, run_fleet
+from repro.nodefinder.live import LiveConfig, LiveNodeFinder
+
+__all__ = [
+    "NodeDB",
+    "NodeEntry",
+    "CrawlStats",
+    "DayCounters",
+    "SanitizationReport",
+    "sanitize",
+    "NodeFinderConfig",
+    "NodeFinderInstance",
+    "Fleet",
+    "run_fleet",
+    "LiveConfig",
+    "LiveNodeFinder",
+]

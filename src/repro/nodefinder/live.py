@@ -1,0 +1,154 @@
+"""A live NodeFinder: the full §4 crawler over real UDP/TCP.
+
+``LiveNodeFinder`` wires the pieces together the way the paper's deployment
+did — continuous discv4 lookups feed dynamic dials; every successful dial
+joins the StaticNodes list and is re-dialed on a fixed interval; stale
+addresses fall off after 24 hours; all results land in the same
+:class:`~repro.nodefinder.database.NodeDB` the analyses consume.
+
+Intervals are parameters (the paper's values are 4s lookups and 30-minute
+re-dials); tests and examples shrink them to seconds so a localhost crawl
+exercises every loop in a few wall-clock seconds.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.crypto.keys import PrivateKey
+from repro.discovery.enode import ENode
+from repro.discovery.protocol import DiscoveryService
+from repro.nodefinder.database import NodeDB
+from repro.nodefinder.wire import harvest
+from repro.simnet.node import DialOutcome
+
+
+@dataclass
+class LiveConfig:
+    """Timers for a live crawl; defaults are the paper's, shrink for tests."""
+
+    lookup_interval: float = 4.0
+    static_dial_interval: float = 30 * 60.0
+    stale_address_age: float = 24 * 3600.0
+    max_active_dials: int = 16   # Geth's maxActiveDialTasks
+    dial_timeout: float = 5.0
+
+
+class LiveNodeFinder:
+    """One live crawler instance."""
+
+    def __init__(
+        self,
+        private_key: PrivateKey | None = None,
+        config: LiveConfig | None = None,
+        host: str = "127.0.0.1",
+    ) -> None:
+        self.private_key = private_key or PrivateKey.generate()
+        self.config = config or LiveConfig()
+        self.host = host
+        self.db = NodeDB()
+        self.discovery: Optional[DiscoveryService] = None
+        #: node id -> (enode, next static dial time)
+        self.static_nodes: dict[bytes, tuple[ENode, float]] = {}
+        self._tasks: list[asyncio.Task] = []
+        self._dial_semaphore = asyncio.Semaphore(self.config.max_active_dials)
+        self._dialed_once: set[bytes] = set()
+        self.stats = {"lookups": 0, "dynamic_dials": 0, "static_dials": 0}
+
+    async def start(self, bootstrap: list[ENode]) -> "LiveNodeFinder":
+        self.discovery = DiscoveryService(
+            self.private_key, host=self.host, bootstrap_nodes=list(bootstrap)
+        )
+        await self.discovery.listen()
+        for node in bootstrap:
+            await self.discovery.bond(node)
+        self._tasks.append(asyncio.ensure_future(self._discovery_loop()))
+        self._tasks.append(asyncio.ensure_future(self._static_loop()))
+        return self
+
+    async def stop(self) -> None:
+        for task in self._tasks:
+            task.cancel()
+        for task in self._tasks:
+            try:
+                await task
+            except (asyncio.CancelledError, Exception):
+                pass
+        if self.discovery is not None:
+            self.discovery.close()
+
+    # -- loops -------------------------------------------------------------
+
+    async def _discovery_loop(self) -> None:
+        assert self.discovery is not None
+        while True:
+            target = PrivateKey.generate().public_key.to_bytes()
+            found = await self.discovery.lookup(target)
+            self.stats["lookups"] += 1
+            fresh = [
+                node
+                for node in found
+                if node.node_id not in self.static_nodes
+                and node.node_id != self.discovery.node_id
+                and node.node_id not in self._dialed_once
+            ]
+            if fresh:
+                await asyncio.gather(
+                    *(self._dial(node, "dynamic-dial") for node in fresh)
+                )
+            await asyncio.sleep(self.config.lookup_interval)
+
+    async def _static_loop(self) -> None:
+        while True:
+            now = time.monotonic()
+            due = [
+                node
+                for node, (enode, next_dial) in list(self.static_nodes.items())
+                if next_dial <= now
+            ]
+            for node_id in due:
+                enode, _ = self.static_nodes[node_id]
+                self.static_nodes[node_id] = (
+                    enode,
+                    now + self.config.static_dial_interval,
+                )
+                await self._dial(enode, "static-dial")
+            self._prune_stale()
+            await asyncio.sleep(
+                min(1.0, self.config.static_dial_interval / 10)
+            )
+
+    def _prune_stale(self) -> None:
+        horizon = time.time() - self.config.stale_address_age
+        for entry in list(self.db):
+            if 0 <= entry.last_success < horizon:
+                self.static_nodes.pop(entry.node_id, None)
+
+    # -- dialing ---------------------------------------------------------------
+
+    async def _dial(self, target: ENode, connection_type: str) -> None:
+        async with self._dial_semaphore:
+            self._dialed_once.add(target.node_id)
+            result = await harvest(
+                target,
+                self.private_key,
+                connection_type=connection_type,
+                dial_timeout=self.config.dial_timeout,
+            )
+        key = "dynamic_dials" if connection_type == "dynamic-dial" else "static_dials"
+        self.stats[key] += 1
+        self.db.observe(result)
+        if result.outcome is not DialOutcome.TIMEOUT:
+            # §4: completed dials join StaticNodes for 30-minute re-dials
+            self.static_nodes.setdefault(
+                target.node_id,
+                (target, time.monotonic() + self.config.static_dial_interval),
+            )
+
+    async def crawl_for(self, seconds: float) -> NodeDB:
+        """Convenience: run the loops for a wall-clock duration."""
+        await asyncio.sleep(seconds)
+        return self.db

@@ -1,0 +1,172 @@
+"""NodeFinder's harvest over the real RLPx stack (live TCP peers).
+
+``harvest`` performs exactly the §4 sequence against one peer: RLPx
+handshake → DEVp2p HELLO → eth STATUS → GET_BLOCK_HEADERS for the DAO fork
+block → DISCONNECT — at most three message exchanges, holding the peer slot
+for well under a second on a LAN.  ``crawl_targets`` drives a list of
+enodes and fills the same :class:`DialResult`/:class:`NodeDB` structures
+the simulator produces, so every analysis runs unchanged on live data.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from typing import Iterable
+
+from repro.crypto.keys import PrivateKey, PublicKey
+from repro.devp2p.messages import Capability, DisconnectReason, HelloMessage
+from repro.devp2p.peer import DevP2PPeer
+from repro.discovery.enode import ENode
+from repro.errors import HandshakeError, PeerDisconnected, ProtocolError, ReproError
+from repro.ethproto import messages as eth
+from repro.ethproto.handshake import harvest_dao_check, run_eth_handshake
+from repro.nodefinder.database import NodeDB
+from repro.rlpx.session import open_session
+from repro.simnet.node import DialOutcome, DialResult
+
+
+def nodefinder_hello(key: PrivateKey, listen_port: int = 30303) -> HelloMessage:
+    """The HELLO NodeFinder sends (Geth 1.7.3-based, eth/62+63)."""
+    return HelloMessage(
+        version=5,
+        client_id="Geth/v1.7.3-stable-nodefinder/linux-amd64/go1.9.2",
+        capabilities=[Capability("eth", 62), Capability("eth", 63)],
+        listen_port=listen_port,
+        node_id=key.public_key.to_bytes(),
+    )
+
+
+def nodefinder_status(reference: eth.StatusMessage | None = None) -> eth.StatusMessage:
+    """A Mainnet STATUS for the crawler (mirrors the peer's chain tip when
+    a reference is supplied, as a harvester legitimately may)."""
+    if reference is not None:
+        return eth.StatusMessage(
+            protocol_version=63,
+            network_id=1,
+            total_difficulty=0,
+            best_hash=eth.MAINNET_GENESIS_HASH,
+            genesis_hash=eth.MAINNET_GENESIS_HASH,
+        )
+    return eth.StatusMessage(
+        protocol_version=63,
+        network_id=1,
+        total_difficulty=0,
+        best_hash=eth.MAINNET_GENESIS_HASH,
+        genesis_hash=eth.MAINNET_GENESIS_HASH,
+    )
+
+
+async def harvest(
+    target: ENode,
+    key: PrivateKey,
+    connection_type: str = "dynamic-dial",
+    dial_timeout: float = 5.0,
+) -> DialResult:
+    """Run the full §4 harvest against one live peer."""
+    started = time.monotonic()
+    base = dict(
+        timestamp=time.time(),
+        node_id=target.node_id,
+        ip=target.ip,
+        tcp_port=target.tcp_port,
+        connection_type=connection_type,
+    )
+    try:
+        session = await open_session(
+            target.ip,
+            target.tcp_port,
+            key,
+            PublicKey.from_bytes(target.node_id),
+            dial_timeout=dial_timeout,
+        )
+    except HandshakeError:
+        return DialResult(
+            outcome=DialOutcome.TIMEOUT,
+            duration=time.monotonic() - started,
+            **base,
+        )
+    peer = DevP2PPeer(session, nodefinder_hello(key))
+    hello_fields: dict = {}
+    try:
+        remote_hello = await peer.handshake()
+        hello_fields = dict(
+            client_id=remote_hello.client_id,
+            capabilities=[tuple(cap) for cap in remote_hello.capabilities],
+            listen_port=remote_hello.listen_port,
+        )
+        latency = session.smoothed_rtt() or 0.0
+        if peer.negotiated("eth") is None:
+            await peer.disconnect(DisconnectReason.USELESS_PEER)
+            return DialResult(
+                outcome=DialOutcome.HELLO_THEN_DISCONNECT,
+                disconnect_reason=DisconnectReason.USELESS_PEER,
+                latency=latency,
+                duration=time.monotonic() - started,
+                **base,
+                **hello_fields,
+            )
+        info = await run_eth_handshake(peer, nodefinder_status())
+        status = info.remote_status
+        dao_side = None
+        if status.genesis_hash == eth.MAINNET_GENESIS_HASH:
+            side, header = await harvest_dao_check(peer)
+            dao_side = {"supports": "supports", "opposes": "opposes"}.get(
+                side.value, "empty"
+            )
+        await peer.disconnect(DisconnectReason.CLIENT_QUITTING)
+        return DialResult(
+            outcome=DialOutcome.FULL_HARVEST,
+            latency=session.smoothed_rtt() or latency,
+            duration=time.monotonic() - started,
+            network_id=status.network_id,
+            genesis_hash=status.genesis_hash,
+            total_difficulty=status.total_difficulty,
+            best_hash=status.best_hash,
+            dao_side=dao_side,
+            **base,
+            **hello_fields,
+        )
+    except PeerDisconnected as exc:
+        reason = exc.reason if isinstance(exc.reason, DisconnectReason) else None
+        outcome = (
+            DialOutcome.HELLO_THEN_DISCONNECT
+            if hello_fields
+            else DialOutcome.DISCONNECT_BEFORE_HELLO
+        )
+        return DialResult(
+            outcome=outcome,
+            disconnect_reason=reason,
+            duration=time.monotonic() - started,
+            **base,
+            **hello_fields,
+        )
+    except (ProtocolError, ReproError, ConnectionError, OSError, asyncio.TimeoutError):
+        peer.abort()
+        return DialResult(
+            outcome=DialOutcome.HELLO_NO_STATUS if hello_fields else DialOutcome.RLPX_FAILED,
+            duration=time.monotonic() - started,
+            **base,
+            **hello_fields,
+        )
+    finally:
+        peer.abort()
+
+
+async def crawl_targets(
+    targets: Iterable[ENode],
+    key: PrivateKey | None = None,
+    concurrency: int = 16,
+) -> NodeDB:
+    """Harvest many live targets concurrently (maxActiveDialTasks=16, §4)."""
+    key = key or PrivateKey.generate()
+    db = NodeDB()
+    semaphore = asyncio.Semaphore(concurrency)
+
+    async def one(target: ENode) -> None:
+        async with semaphore:
+            result = await harvest(target, key)
+            db.observe(result)
+
+    await asyncio.gather(*(one(target) for target in targets))
+    return db

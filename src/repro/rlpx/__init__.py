@@ -1,0 +1,32 @@
+"""RLPx encrypted TCP transport.
+
+After discovery, peers establish an authenticated, encrypted TCP channel:
+
+1. the **handshake** (:mod:`repro.rlpx.handshake`): initiator sends an
+   ECIES-encrypted *auth* message carrying a signature binding its static
+   key, an ephemeral key, and a nonce; the responder replies with an
+   ECIES-encrypted *ack*; both derive shared AES and MAC secrets;
+2. **framing** (:mod:`repro.rlpx.frame`): every subsequent message travels
+   in AES-256-CTR-encrypted frames with a running Keccak-256 MAC;
+3. the **session** (:mod:`repro.rlpx.session`) exposes async
+   ``send_message`` / ``read_message`` over an asyncio TCP stream.
+"""
+
+from repro.rlpx.handshake import (
+    HandshakeResult,
+    initiate_handshake,
+    respond_handshake,
+)
+from repro.rlpx.frame import FrameCodec, Secrets
+from repro.rlpx.session import RLPxSession, accept_session, open_session
+
+__all__ = [
+    "HandshakeResult",
+    "initiate_handshake",
+    "respond_handshake",
+    "FrameCodec",
+    "Secrets",
+    "RLPxSession",
+    "open_session",
+    "accept_session",
+]

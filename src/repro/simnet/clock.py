@@ -1,0 +1,101 @@
+"""Discrete-event simulation clock.
+
+A single ordered event queue drives the whole world: NodeFinder instances,
+chain growth, churn ticks, and release-calendar events all schedule
+callbacks here.  Time is float seconds since the simulation epoch.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable, Optional
+
+from repro.errors import SimulationError
+
+SECONDS_PER_HOUR = 3600.0
+SECONDS_PER_DAY = 86400.0
+
+
+class SimClock:
+    """An event-driven clock; never moves backwards."""
+
+    def __init__(self, start: float = 0.0) -> None:
+        self.now = start
+        self._queue: list[tuple[float, int, Callable[[], None]]] = []
+        self._sequence = itertools.count()
+        self._processed = 0
+
+    def schedule(self, delay: float, callback: Callable[[], None]) -> None:
+        """Run ``callback`` ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule {delay}s in the past")
+        heapq.heappush(
+            self._queue, (self.now + delay, next(self._sequence), callback)
+        )
+
+    def schedule_at(self, when: float, callback: Callable[[], None]) -> None:
+        """Run ``callback`` at absolute time ``when``."""
+        self.schedule(when - self.now, callback)
+
+    def schedule_every(
+        self,
+        interval: float,
+        callback: Callable[[], None],
+        until: Optional[float] = None,
+        jitter: Callable[[], float] | None = None,
+    ) -> None:
+        """Run ``callback`` every ``interval`` seconds (optionally jittered)."""
+        if interval <= 0:
+            raise SimulationError("interval must be positive")
+
+        def tick() -> None:
+            if until is not None and self.now >= until:
+                return
+            callback()
+            delay = interval + (jitter() if jitter else 0.0)
+            self.schedule(max(delay, 0.0), tick)
+
+        self.schedule(interval, tick)
+
+    @property
+    def pending(self) -> int:
+        return len(self._queue)
+
+    @property
+    def events_processed(self) -> int:
+        return self._processed
+
+    def step(self) -> bool:
+        """Run the next event; False when the queue is empty."""
+        if not self._queue:
+            return False
+        when, _, callback = heapq.heappop(self._queue)
+        self.now = max(self.now, when)
+        callback()
+        self._processed += 1
+        return True
+
+    def run_until(self, deadline: float, max_events: int | None = None) -> None:
+        """Run events up to ``deadline`` (events after it stay queued)."""
+        count = 0
+        while self._queue and self._queue[0][0] <= deadline:
+            self.step()
+            count += 1
+            if max_events is not None and count >= max_events:
+                raise SimulationError(
+                    f"exceeded {max_events} events before reaching {deadline}"
+                )
+        self.now = max(self.now, deadline)
+
+    def run_for(self, duration: float, max_events: int | None = None) -> None:
+        self.run_until(self.now + duration, max_events)
+
+    @property
+    def day(self) -> int:
+        """Whole simulation days elapsed."""
+        return int(self.now // SECONDS_PER_DAY)
+
+    @property
+    def hour_of_day(self) -> float:
+        return (self.now % SECONDS_PER_DAY) / SECONDS_PER_HOUR

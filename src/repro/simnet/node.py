@@ -1,0 +1,255 @@
+"""Per-node behaviour: what happens when something dials a simulated node.
+
+``SimNode`` wraps a :class:`~repro.simnet.population.NodeSpec` with the
+dynamic state the crawler observes: whether the node is online, whether its
+peer slots are full (the dominant "Too many peers" outcome of §3/Table 1),
+its HELLO and STATUS content at a given sim time, its DAO-check answer, and
+its FIND_NODE behaviour under its client's distance metric.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.chain.synthetic import SyntheticChain
+from repro.crypto.keccak import keccak256
+from repro.devp2p.messages import DisconnectReason
+from repro.discovery.distance import parity_log_distance
+from repro.ethproto.forks import BYZANTIUM_BLOCK, DAO_FORK_BLOCK
+from repro.simnet.clock import SECONDS_PER_DAY
+from repro.simnet.population import NodeSpec, PopulationBuilder
+
+
+class DialOutcome(enum.Enum):
+    """How a connection attempt ended."""
+
+    TIMEOUT = "timeout"                      # offline / unreachable
+    CONNECTION_REFUSED = "refused"
+    RLPX_FAILED = "rlpx-failed"              # crypto handshake failure
+    DISCONNECT_BEFORE_HELLO = "disconnect-before-hello"
+    HELLO_NO_STATUS = "hello-no-status"      # HELLO ok, STATUS never came
+    HELLO_THEN_DISCONNECT = "hello-then-disconnect"
+    FULL_HARVEST = "full-harvest"            # HELLO + STATUS (+ DAO check)
+
+
+@dataclass
+class DialResult:
+    """Everything a single connection attempt yields (one NodeFinder log line)."""
+
+    timestamp: float
+    node_id: bytes
+    ip: str
+    tcp_port: int
+    connection_type: str  # dynamic-dial | static-dial | incoming
+    outcome: DialOutcome
+    latency: float = 0.0
+    duration: float = 0.0
+    client_id: Optional[str] = None
+    capabilities: Optional[list[tuple[str, int]]] = None
+    listen_port: Optional[int] = None
+    network_id: Optional[int] = None
+    genesis_hash: Optional[bytes] = None
+    total_difficulty: Optional[int] = None
+    best_hash: Optional[bytes] = None
+    best_block: Optional[int] = None
+    disconnect_reason: Optional[DisconnectReason] = None
+    dao_side: Optional[str] = None  # supports | opposes | empty
+    #: chain head height of the node's network when STATUS was taken —
+    #: freshness (Figure 14) is the lag against *this*, not a later head
+    head_height: Optional[int] = None
+
+    @property
+    def got_hello(self) -> bool:
+        return self.client_id is not None
+
+    @property
+    def got_status(self) -> bool:
+        return self.network_id is not None
+
+
+class SimNode:
+    """Runtime wrapper around a NodeSpec."""
+
+    __slots__ = (
+        "spec",
+        "builder",
+        "id_hash",
+        "id_hash_int",
+        "occupancy",
+        "status_reliability",
+        "neighbors",
+        "_rng",
+    )
+
+    def __init__(
+        self, spec: NodeSpec, builder: PopulationBuilder, rng: random.Random
+    ) -> None:
+        self.spec = spec
+        self.builder = builder
+        self.id_hash = keccak256(spec.node_id)
+        self.id_hash_int = int.from_bytes(self.id_hash, "big")
+        self._rng = random.Random(rng.getrandbits(64))
+        self.occupancy = self._draw_occupancy()
+        #: P(STATUS exchange succeeds | HELLO succeeded) — paper: 323,584
+        #: STATUS out of 335,036 eth HELLOs ≈ 0.97 per *node*, lower per dial
+        self.status_reliability = 0.93 if spec.service == "eth" else 0.0
+        self.neighbors: list["SimNode"] = []
+
+    def _draw_occupancy(self) -> float:
+        """Probability that a given dial finds every peer slot taken."""
+        spec, rng = self.spec, self._rng
+        if spec.runs_nodefinder:
+            return 0.0  # scanners accept everything (§4)
+        if spec.service == "eth" and spec.network_name in ("mainnet", "classic"):
+            # case study: Geth full 99.1%, Parity 91.5% of the time; dialing
+            # later retries catches the brief windows, so per-dial slightly lower
+            base = 0.97 if spec.client_family == "geth" else 0.90
+            return min(0.99, max(0.5, rng.gauss(base, 0.04)))
+        if spec.service == "eth":
+            return rng.uniform(0.05, 0.6)  # small networks rarely fill up
+        return rng.uniform(0.1, 0.7)
+
+    # -- chain view -------------------------------------------------------------
+
+    def best_block(self, world_height: int) -> int:
+        spec = self.spec
+        if spec.freshness == "stuck-byzantium":
+            return BYZANTIUM_BLOCK + 1
+        if spec.freshness == "stale":
+            return max(0, world_height - spec.lag_blocks)
+        return max(0, world_height - spec.lag_blocks)
+
+    def status_for(self, chain: SyntheticChain, world_height: int) -> dict:
+        """STATUS field values for this node right now."""
+        best = self.best_block(world_height)
+        return {
+            "network_id": self.spec.network_id,
+            "genesis_hash": self.spec.genesis_hash,
+            "total_difficulty": chain.total_difficulty_at(best),
+            "best_hash": chain.block_hash(best),
+            "best_block": best,
+        }
+
+    def dao_answer(self, world_height: int) -> str:
+        """The DAO-check outcome a crawler records: supports/opposes/empty."""
+        if self.best_block(world_height) < DAO_FORK_BLOCK:
+            return "empty"
+        return "supports" if self.spec.supports_dao else "opposes"
+
+    # -- discovery ------------------------------------------------------------
+
+    def find_node(self, target_hash: bytes, count: int = 16) -> list["SimNode"]:
+        """Answer FIND_NODE from this node's neighbour set.
+
+        Geth-metric nodes return true XOR-nearest neighbours; Parity-metric
+        nodes rank by their summed-byte log distance, whose coarse, shifted
+        buckets make their answers nearly useless for a Geth-style lookup
+        (§6.3) — ties are broken arbitrarily, not by real closeness.
+        """
+        if not self.neighbors:
+            return []
+        if self.spec.metric == "parity":
+            target = target_hash
+            return sorted(
+                self.neighbors,
+                key=lambda node: (
+                    parity_log_distance(node.id_hash, target),
+                    node.id_hash_int & 0xFFFF,  # arbitrary tiebreak
+                ),
+            )[:count]
+        target_int = int.from_bytes(target_hash, "big")
+        return sorted(
+            self.neighbors, key=lambda node: node.id_hash_int ^ target_int
+        )[:count]
+
+    # -- dialing ---------------------------------------------------------------
+
+    def handle_connection(
+        self,
+        now: float,
+        connection_type: str,
+        chain: SyntheticChain,
+        world_height: int,
+        rtt: float,
+        crawler_wants_dao_check: bool = True,
+    ) -> DialResult:
+        """Simulate one connection from a NodeFinder-style scanner.
+
+        The scanner side never disconnects first and accepts everything;
+        outcomes are driven by this node's state (paper §4 design).
+        """
+        spec = self.spec
+        rng = self._rng
+        day = now / SECONDS_PER_DAY
+        base = dict(
+            timestamp=now,
+            node_id=spec.node_id,
+            ip=spec.ip,
+            tcp_port=spec.tcp_port,
+            connection_type=connection_type,
+            latency=rtt,
+        )
+        online = spec.is_online(day)
+        if connection_type != "incoming" and (not online or not spec.reachable):
+            return DialResult(
+                outcome=DialOutcome.TIMEOUT, duration=15.0, **base
+            )  # defaultDialTimeout
+        if not online:
+            return DialResult(outcome=DialOutcome.TIMEOUT, duration=15.0, **base)
+        if rng.random() < 0.004:
+            return DialResult(
+                outcome=DialOutcome.CONNECTION_REFUSED, duration=rtt, **base
+            )
+        if rng.random() < 0.003:  # paper: 357,710 RLPx vs 356,492 HELLO
+            return DialResult(
+                outcome=DialOutcome.DISCONNECT_BEFORE_HELLO,
+                duration=2 * rtt,
+                disconnect_reason=DisconnectReason.TCP_ERROR,
+                **base,
+            )
+        if connection_type != "incoming" and rng.random() < self.occupancy:
+            # full node: DISCONNECT(Too many peers) instead of a session
+            return DialResult(
+                outcome=DialOutcome.HELLO_THEN_DISCONNECT,
+                duration=2 * rtt,
+                disconnect_reason=DisconnectReason.TOO_MANY_PEERS,
+                **base,
+            )
+        hello = dict(
+            client_id=self.builder.client_string_at(spec, day),
+            capabilities=list(spec.capabilities),
+            listen_port=spec.tcp_port,
+        )
+        if spec.service != "eth":
+            # no shared eth capability: session dies as Useless peer
+            return DialResult(
+                outcome=DialOutcome.HELLO_THEN_DISCONNECT,
+                duration=3 * rtt,
+                disconnect_reason=DisconnectReason.USELESS_PEER,
+                **base,
+                **hello,
+            )
+        if rng.random() > self.status_reliability:
+            return DialResult(
+                outcome=DialOutcome.HELLO_NO_STATUS,
+                duration=rtt + 30.0,  # frameReadTimeout expiry
+                disconnect_reason=DisconnectReason.READ_TIMEOUT,
+                **base,
+                **hello,
+            )
+        status = self.status_for(chain, world_height)
+        dao_side: Optional[str] = None
+        if crawler_wants_dao_check and spec.claims_mainnet_genesis:
+            dao_side = self.dao_answer(world_height)
+        return DialResult(
+            outcome=DialOutcome.FULL_HARVEST,
+            duration=4 * rtt + rng.uniform(0.005, 0.1),
+            dao_side=dao_side,
+            head_height=world_height,
+            **base,
+            **hello,
+            **status,
+        )

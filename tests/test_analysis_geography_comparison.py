@@ -1,0 +1,117 @@
+"""Geography, latency, comparison, and validation analyses on a real crawl."""
+
+import pytest
+
+from repro.analysis.comparison import build_table2, build_table6, mainnet_snapshot_ids
+from repro.analysis.geography import geolocate, latency_report
+from repro.analysis.freshness import freshness_cdf
+from repro.datasets.ethernodes import EthernodesCrawler
+from repro.nodefinder.fleet import run_fleet
+from repro.nodefinder.sanitize import sanitize
+from repro.nodefinder.scanner import NodeFinderConfig
+from repro.simnet.population import PopulationConfig
+from repro.simnet.world import SimWorld, WorldConfig
+
+
+@pytest.fixture(scope="module")
+def crawl():
+    world = SimWorld(
+        WorldConfig(
+            population=PopulationConfig(total_nodes=350, measurement_days=2.0, seed=77),
+            seed=77,
+        )
+    )
+    fleet = run_fleet(
+        world, instance_count=2, days=2.0,
+        config=NodeFinderConfig(discovery_interval=90.0),
+    )
+    db, _ = sanitize(fleet.merged_db, fleet.own_node_ids())
+    return world, fleet, db
+
+
+class TestGeography:
+    def test_geolocate_covers_most_nodes(self, crawl):
+        world, _, db = crawl
+        report = geolocate(world, db.mainnet_nodes())
+        assert report.total > 0.9 * len(db.mainnet_nodes())
+
+    def test_us_leads(self, crawl):
+        world, _, db = crawl
+        report = geolocate(world, db.mainnet_nodes())
+        assert report.country_shares[0][0] == "US"
+        assert 0.3 < report.country_shares[0][1] < 0.55
+
+    def test_shares_sum_to_one(self, crawl):
+        world, _, db = crawl
+        report = geolocate(world, db.mainnet_nodes())
+        assert sum(share for _, share in report.country_shares) == pytest.approx(1.0)
+        assert sum(share for _, share in report.as_shares) == pytest.approx(1.0)
+
+    def test_cloud_concentration(self, crawl):
+        world, _, db = crawl
+        report = geolocate(world, db.mainnet_nodes())
+        assert report.top8_as_fraction > 0.3
+        assert report.cloud_fraction > 0.3
+
+
+class TestLatency:
+    def test_cdf_monotone_and_bounded(self, crawl):
+        _, _, db = crawl
+        report = latency_report(db)
+        assert all(
+            a <= b for a, b in zip(report.ethereum_cdf, report.ethereum_cdf[1:])
+        )
+        assert 0 <= report.ethereum_cdf[0] <= report.ethereum_cdf[-1] <= 1.0
+
+    def test_median_plausible(self, crawl):
+        _, _, db = crawl
+        report = latency_report(db)
+        assert 0.005 < report.median < 0.5
+
+    def test_rows_align(self, crawl):
+        _, _, db = crawl
+        report = latency_report(db)
+        assert len(report.rows()) == len(report.points)
+
+
+class TestComparison:
+    def test_table2_consistency(self, crawl):
+        world, _, db = crawl
+        snapshot = EthernodesCrawler(world).snapshot(0.0, 1.0)
+        table = build_table2(db, snapshot, 0.0, 1.0)
+        assert table.nodefinder_total == (
+            table.nodefinder_reachable + table.nodefinder_unreachable
+        )
+        assert table.overlap <= min(table.ethernodes_verified, table.nodefinder_total)
+        assert table.ethernodes_only + table.overlap == table.ethernodes_verified
+
+    def test_reachability_classification(self, crawl):
+        world, _, db = crawl
+        reachable, unreachable = mainnet_snapshot_ids(db, 0.0, 2.0)
+        assert reachable and unreachable
+        for node_id in list(reachable)[:20]:
+            node = world.nodes.get(node_id)
+            if node is not None:
+                assert node.spec.reachable
+        for node_id in list(unreachable)[:20]:
+            node = world.nodes.get(node_id)
+            if node is not None:
+                assert not node.spec.reachable
+
+    def test_table6_scaling(self):
+        rows = build_table6(700, 200, scale_factor=10.0)
+        sizes = {name: count for name, _, count in rows}
+        assert sizes["Ethereum (NodeFinder) [measured]"] == 7000
+        assert sizes["Ethereum (Ethernodes) [measured]"] == 2000
+        assert sizes["Gnutella (SNAP)"] == 62_586
+
+
+class TestFreshnessOnCrawl:
+    def test_uses_head_at_status(self, crawl):
+        world, _, db = crawl
+        report = freshness_cdf(db, world.mainnet_height)
+        assert report.total > 50
+        # synced nodes are within a few blocks of head *at observation time*
+        cdf = dict(report.cdf_points)
+        assert cdf[10] > 0.4
+        assert 0.1 < report.stale_fraction < 0.5

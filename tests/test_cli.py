@@ -1,0 +1,44 @@
+"""CLI smoke tests (each command end to end, small workloads)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_all_commands_registered(self):
+        parser = build_parser()
+        for command in ("demo", "simulate", "casestudy", "distance"):
+            args = parser.parse_args([command] if command != "demo" else ["demo"])
+            assert callable(args.func)
+
+
+class TestCommands:
+    def test_casestudy(self, capsys):
+        assert main(["casestudy", "--days", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "Too many peers" in out
+        assert "Geth/v1.7.3" in out and "Parity/v1.7.9" in out
+
+    def test_distance_fast(self, capsys):
+        assert main(["distance", "--trials", "1500", "--fast"]) == 0
+        out = capsys.readouterr().out
+        assert "Geth   mode distance: 256" in out
+
+    def test_simulate_small(self, capsys):
+        assert main([
+            "simulate", "--nodes", "150", "--days", "1",
+            "--instances", "1", "--discovery-interval", "200",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "DEVp2p services" in out
+        assert "useless-peer fraction" in out
+
+    def test_demo(self, capsys):
+        assert main(["demo", "--nodes", "2", "--blocks", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "harvested 2 STATUS messages" in out

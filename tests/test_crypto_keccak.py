@@ -1,0 +1,100 @@
+"""Known-answer and property tests for Keccak-256."""
+
+import hashlib
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto.keccak import (
+    Keccak256,
+    KeccakSponge,
+    keccak256,
+    keccak512,
+    keccak_f1600,
+    keccak_f1600_reference,
+)
+
+# Official Keccak (pre-NIST padding) vectors.
+VECTORS = [
+    (b"", "c5d2460186f7233c927e7db2dcc703c0e500b653ca82273b7bfad8045d85a470"),
+    (b"abc", "4e03657aea45a94fc7d47ba826c8d667c0d1e6e33a64a036ec44f58fa12d6c45"),
+    (
+        b"The quick brown fox jumps over the lazy dog",
+        "4d741b6f1eb29cb2a9b9911c82f56fa8d73b04959d3d9d222895df6c0b28aa15",
+    ),
+    (
+        b"The quick brown fox jumps over the lazy dog.",
+        "578951e24efd62a3d63a86f7cd19aaa53c898fe287d2552133220370240b572d",
+    ),
+]
+
+
+@pytest.mark.parametrize("message,expected", VECTORS)
+def test_known_vectors(message, expected):
+    assert keccak256(message).hex() == expected
+
+
+def test_differs_from_nist_sha3():
+    """Ethereum Keccak-256 is NOT FIPS-202 SHA3-256."""
+    assert keccak256(b"") != hashlib.sha3_256(b"").digest()
+
+
+def test_keccak512_empty():
+    assert keccak512(b"").hex().startswith("0eab42de4c3ceb9235fc91acffe746b2")
+
+
+def test_streaming_equals_oneshot():
+    hasher = Keccak256()
+    hasher.update(b"The quick brown fox ")
+    hasher.update(b"jumps over the lazy dog")
+    assert hasher.digest() == keccak256(b"The quick brown fox jumps over the lazy dog")
+
+
+def test_digest_is_nondestructive():
+    hasher = Keccak256(b"abc")
+    first = hasher.digest()
+    assert hasher.digest() == first
+    hasher.update(b"def")
+    assert hasher.digest() == keccak256(b"abcdef")
+
+
+def test_copy_forks_state():
+    hasher = Keccak256(b"shared prefix|")
+    fork = hasher.copy()
+    hasher.update(b"left")
+    fork.update(b"right")
+    assert hasher.digest() == keccak256(b"shared prefix|left")
+    assert fork.digest() == keccak256(b"shared prefix|right")
+
+
+def test_input_crossing_rate_boundary():
+    # rate is 136 bytes; exercise sizes around it
+    for size in (135, 136, 137, 271, 272, 273, 1000):
+        data = bytes(range(256))[:1] * size
+        whole = keccak256(data)
+        hasher = Keccak256()
+        for offset in range(0, size, 7):
+            hasher.update(data[offset : offset + 7])
+        assert hasher.digest() == whole
+
+
+def test_invalid_sponge_rate():
+    with pytest.raises(ValueError):
+        KeccakSponge(rate_bytes=7, output_bytes=32)
+    with pytest.raises(ValueError):
+        KeccakSponge(rate_bytes=0, output_bytes=32)
+
+
+@settings(max_examples=20)
+@given(st.lists(st.integers(min_value=0, max_value=(1 << 64) - 1), min_size=25, max_size=25))
+def test_unrolled_permutation_matches_reference(state):
+    assert keccak_f1600(list(state)) == keccak_f1600_reference(list(state))
+
+
+@settings(max_examples=40)
+@given(st.binary(max_size=600), st.integers(min_value=1, max_value=16))
+def test_chunked_update_equals_oneshot(data, chunk):
+    hasher = Keccak256()
+    for offset in range(0, len(data), chunk):
+        hasher.update(data[offset : offset + chunk])
+    assert hasher.digest() == keccak256(data)

@@ -1,0 +1,126 @@
+"""Dataset tests: reference constants, Ethernodes comparator, P2P history."""
+
+import math
+
+import pytest
+
+from repro.chain.genesis import MAINNET_GENESIS_HASH
+from repro.datasets import reference
+from repro.datasets.ethernodes import EthernodesCrawler
+from repro.datasets.p2p_history import (
+    NETWORK_SIZES,
+    empirical_cdf,
+    latency_cdf_bitnodes,
+    latency_cdf_gnutella,
+)
+from repro.simnet.population import PopulationConfig
+from repro.simnet.world import SimWorld, WorldConfig
+
+
+class TestReferenceConstants:
+    def test_table1_totals(self):
+        geth_received = sum(v[0] for v in reference.TABLE1_GETH.values())
+        assert geth_received == 5_428  # Table 1's total row
+
+    def test_table3_shares_sum_to_one(self):
+        total = sum(share for _, share in reference.TABLE3_SERVICES.values())
+        assert total == pytest.approx(1.0, abs=0.005)
+
+    def test_table2_set_algebra(self):
+        assert (
+            reference.OVERLAP_REACHABLE + reference.OVERLAP_UNREACHABLE
+            == reference.OVERLAP_BOTH
+        )
+        assert (
+            reference.NODEFINDER_REACHABLE + reference.NODEFINDER_UNREACHABLE
+            == reference.NODEFINDER_MAINNET_24H
+        )
+        assert (
+            reference.ETHERNODES_MAINNET_VERIFIED - reference.OVERLAP_BOTH
+            == reference.ETHERNODES_ONLY
+        )
+
+    def test_client_shares(self):
+        assert sum(reference.CLIENT_SHARES.values()) == pytest.approx(1.0, abs=0.01)
+
+    def test_abusive_fraction_consistent(self):
+        implied_total = reference.ABUSIVE_NODE_IDS / reference.ABUSIVE_FRACTION
+        assert 400_000 < implied_total < 500_000
+
+
+class TestEthernodes:
+    @pytest.fixture(scope="class")
+    def world(self):
+        return SimWorld(
+            WorldConfig(
+                population=PopulationConfig(
+                    total_nodes=800, measurement_days=3.0, seed=55
+                ),
+                seed=55,
+            )
+        )
+
+    def test_page_larger_than_verified(self, world):
+        snapshot = EthernodesCrawler(world).snapshot(0.0, 1.0)
+        verified = snapshot.verified_mainnet_ids()
+        assert snapshot.listed_count > len(verified)
+
+    def test_verified_only_mainnet_genesis(self, world):
+        snapshot = EthernodesCrawler(world).snapshot(0.0, 1.0)
+        for node_id in snapshot.verified_mainnet_ids():
+            assert snapshot.listed[node_id][1] == MAINNET_GENESIS_HASH
+
+    def test_unreachable_capture_lower(self, world):
+        crawler = EthernodesCrawler(world, seed=1)
+        snapshot = crawler.snapshot(0.0, 1.0)
+        reachable_caught = 0
+        reachable_total = 0
+        unreachable_caught = 0
+        unreachable_total = 0
+        for node in world.nodes.values():
+            spec = node.spec
+            if not spec.is_mainnet or spec.arrival_day >= 1.0:
+                continue
+            if spec.reachable:
+                reachable_total += 1
+                reachable_caught += spec.node_id in snapshot.listed
+            else:
+                unreachable_total += 1
+                unreachable_caught += spec.node_id in snapshot.listed
+        assert reachable_caught / max(reachable_total, 1) > 2 * (
+            unreachable_caught / max(unreachable_total, 1)
+        )
+
+    def test_deterministic_given_seed(self, world):
+        a = EthernodesCrawler(world, seed=7).snapshot(0.0, 1.0)
+        b = EthernodesCrawler(world, seed=7).snapshot(0.0, 1.0)
+        assert a.listed.keys() == b.listed.keys()
+
+
+class TestP2PHistory:
+    def test_network_sizes_match_table6(self):
+        sizes = {name: size for name, _, size in NETWORK_SIZES}
+        assert sizes["Ethereum (NodeFinder)"] == 15_454
+        assert sizes["Bitcoin (Bitnodes)"] == 10_454
+        assert sizes["Gnutella (SNAP)"] == 62_586
+
+    def test_latency_cdfs_are_cdfs(self):
+        for cdf in (latency_cdf_gnutella, latency_cdf_bitnodes):
+            assert cdf(0.0) == 0.0
+            assert cdf(10.0) > 0.99
+            values = [cdf(x / 100) for x in range(1, 200)]
+            assert all(a <= b for a, b in zip(values, values[1:]))
+
+    def test_gnutella_slower_than_bitcoin(self):
+        # residential 2002 vs cloud 2018 at the 100ms mark
+        assert latency_cdf_bitnodes(0.1) > latency_cdf_gnutella(0.1)
+
+    def test_gnutella_median(self):
+        assert latency_cdf_gnutella(0.18) == pytest.approx(0.5, abs=0.01)
+
+    def test_empirical_cdf(self):
+        samples = [0.1, 0.2, 0.3, 0.4]
+        assert empirical_cdf(samples, [0.05, 0.25, 1.0]) == [0.0, 0.5, 1.0]
+
+    def test_empirical_cdf_empty(self):
+        assert empirical_cdf([], [0.1]) == [0.0]

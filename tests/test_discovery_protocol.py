@@ -1,0 +1,165 @@
+"""Integration tests for the discv4 UDP service on localhost sockets."""
+
+import asyncio
+
+import pytest
+
+from repro.crypto.keys import PrivateKey
+from repro.discovery.protocol import DiscoveryService
+
+
+def run(coroutine):
+    return asyncio.run(coroutine)
+
+
+async def start_services(count: int, **kwargs) -> list[DiscoveryService]:
+    services = [
+        DiscoveryService(PrivateKey(5000 + i), **kwargs) for i in range(count)
+    ]
+    for service in services:
+        await service.listen()
+    return services
+
+
+async def stop_services(services):
+    for service in services:
+        service.close()
+    await asyncio.sleep(0)
+
+
+class TestBonding:
+    def test_ping_pong(self):
+        async def scenario():
+            a, b = await start_services(2)
+            try:
+                assert await a.ping(b.local_enode)
+                assert a.is_bonded(b.node_id)
+                assert b.is_bonded(a.node_id)  # PING bonds the receiver too
+            finally:
+                await stop_services([a, b])
+
+        run(scenario())
+
+    def test_ping_timeout_on_dead_peer(self):
+        async def scenario():
+            (a,) = await start_services(1, reply_timeout=0.1)
+            b = DiscoveryService(PrivateKey(9999))
+            await b.listen()
+            dead = b.local_enode
+            b.close()
+            await asyncio.sleep(0)
+            try:
+                assert not await a.ping(dead)
+            finally:
+                await stop_services([a])
+
+        run(scenario())
+
+    def test_ping_adds_to_table(self):
+        async def scenario():
+            a, b = await start_services(2)
+            try:
+                await a.ping(b.local_enode)
+                assert a.table.get(b.node_id) is not None
+                assert b.table.get(a.node_id) is not None
+            finally:
+                await stop_services([a, b])
+
+        run(scenario())
+
+
+class TestFindNode:
+    def test_findnode_requires_bond(self):
+        """Unbonded FIND_NODE gets no answer (endpoint-proof rule)."""
+
+        async def scenario():
+            a, b = await start_services(2, reply_timeout=0.2)
+            try:
+                # a has never pinged b and b has never pinged a: force the
+                # unbonded path by clearing a's view so find_node's internal
+                # bond() is skipped via a fake bond entry on a only.
+                import time
+
+                a._bonds[b.node_id] = time.monotonic()
+                records = await a.find_node(b.local_enode, a.node_id)
+                assert records == []  # b ignored the query (and pinged back)
+            finally:
+                await stop_services([a, b])
+
+        run(scenario())
+
+    def test_findnode_returns_known_nodes(self):
+        async def scenario():
+            services = await start_services(5)
+            hub = services[0]
+            try:
+                for other in services[1:]:
+                    await other.bond(hub.local_enode)
+                records = await services[1].find_node(
+                    hub.local_enode, services[1].node_id
+                )
+                ids = {record.node_id for record in records}
+                # hub knows everyone who bonded with it
+                assert services[2].node_id in ids or services[3].node_id in ids
+            finally:
+                await stop_services(services)
+
+        run(scenario())
+
+
+class TestLookup:
+    def test_network_wide_lookup(self):
+        async def scenario():
+            services = await start_services(6)
+            boot = services[0]
+            try:
+                for other in services[1:]:
+                    await other.bond(boot.local_enode)
+                found = await services[1].self_lookup()
+                found_ids = {node.node_id for node in found}
+                others = {s.node_id for s in services if s is not services[1]}
+                assert len(found_ids & others) >= 3
+            finally:
+                await stop_services(services)
+
+        run(scenario())
+
+    def test_lookup_converges_with_no_peers(self):
+        async def scenario():
+            (lonely,) = await start_services(1, reply_timeout=0.1)
+            try:
+                found = await lonely.self_lookup()
+                assert found == []
+            finally:
+                await stop_services([lonely])
+
+        run(scenario())
+
+    def test_stats_counters(self):
+        async def scenario():
+            a, b = await start_services(2)
+            try:
+                await a.ping(b.local_enode)
+                await a.find_node(b.local_enode, a.node_id)
+                assert a.stats["pings_sent"] >= 1
+                assert a.stats["findnodes_sent"] == 1
+                assert b.stats["pongs_sent"] >= 1
+                assert b.stats["packets_received"] >= 2
+            finally:
+                await stop_services([a, b])
+
+        run(scenario())
+
+    def test_bad_datagram_counted_not_fatal(self):
+        async def scenario():
+            a, b = await start_services(2)
+            try:
+                transport = a._transport
+                transport.sendto(b"garbage", (b.host, b.port))
+                await asyncio.sleep(0.05)
+                assert b.stats["bad_packets"] == 1
+                assert await a.ping(b.local_enode)  # still functional
+            finally:
+                await stop_services([a, b])
+
+        run(scenario())

@@ -1,0 +1,119 @@
+"""Case-study simulator tests (§3: Figures 2-4, Table 1)."""
+
+import pytest
+
+from repro.devp2p.messages import DisconnectReason
+from repro.simnet.casestudy import (
+    GETH_PROFILE,
+    PARITY_PROFILE,
+    run_case_study,
+)
+
+
+@pytest.fixture(scope="module")
+def geth():
+    return run_case_study(GETH_PROFILE, days=7.0, seed=1)
+
+
+@pytest.fixture(scope="module")
+def parity():
+    return run_case_study(PARITY_PROFILE, days=7.0, seed=2)
+
+
+class TestPeerDynamics:
+    def test_reaches_limits_in_minutes(self, geth, parity):
+        assert geth.minutes_to_max <= 15
+        assert parity.minutes_to_max <= 15
+
+    def test_peer_caps_respected(self, geth, parity):
+        assert max(count for _, count in geth.peer_series) == 25
+        assert max(count for _, count in parity.peer_series) == 50
+
+    def test_occupancy_near_paper(self, geth, parity):
+        assert abs(geth.time_at_max_fraction - 0.991) < 0.03
+        assert abs(parity.time_at_max_fraction - 0.915) < 0.05
+
+    def test_geth_more_stable_than_parity(self, geth, parity):
+        assert geth.time_at_max_fraction > parity.time_at_max_fraction
+
+
+class TestTable1Shape:
+    def test_too_many_peers_dominates(self, geth, parity):
+        tmp = DisconnectReason.TOO_MANY_PEERS.label
+        for result in (geth, parity):
+            assert result.disconnects_sent[tmp] == max(result.disconnects_sent.values())
+            assert result.disconnects_received[tmp] == max(
+                result.disconnects_received.values()
+            )
+
+    def test_sent_greatly_exceeds_received(self, geth):
+        """Table 1 caption: many more sent than received — incoming pressure."""
+        assert sum(geth.disconnects_sent.values()) > 100 * sum(
+            geth.disconnects_received.values()
+        )
+
+    def test_parity_never_sends_subprotocol_error(self, parity):
+        label = DisconnectReason.SUBPROTOCOL_ERROR.label
+        assert parity.disconnects_sent.get(label, 0) == 0
+
+    def test_geth_sends_subprotocol_errors(self, geth):
+        label = DisconnectReason.SUBPROTOCOL_ERROR.label
+        assert geth.disconnects_sent.get(label, 0) > 1000
+
+    def test_parity_useless_peer_storm(self, geth, parity):
+        label = DisconnectReason.USELESS_PEER.label
+        assert parity.disconnects_sent[label] > 50 * geth.disconnects_sent[label]
+
+    def test_parity_receives_more_tmp_than_geth(self, geth, parity):
+        """Parity dials far more aggressively: 113K vs 3.9K received."""
+        label = DisconnectReason.TOO_MANY_PEERS.label
+        assert parity.disconnects_received[label] > 10 * geth.disconnects_received[label]
+
+    def test_magnitudes_within_2x_of_paper(self, geth, parity):
+        from repro.datasets import reference
+
+        checks = [
+            (geth, reference.TABLE1_GETH),
+            (parity, reference.TABLE1_PARITY),
+        ]
+        for result, paper in checks:
+            label = DisconnectReason.TOO_MANY_PEERS.label
+            assert 0.4 < result.disconnects_sent[label] / paper[label][1] < 2.5
+
+    def test_table1_rows_ordering(self, geth):
+        rows = geth.table1_rows()
+        received = [row[1] for row in rows]
+        assert received == sorted(received, reverse=True)
+
+
+class TestMessageMix:
+    def test_transactions_dominate_received(self, geth, parity):
+        for result in (geth, parity):
+            assert result.messages_received["Transactions"] == max(
+                result.messages_received.values()
+            )
+
+    def test_geth_broadcasts_parity_sqrt(self, geth, parity):
+        geth_ratio = geth.messages_sent["Transactions"] / geth.messages_received["Transactions"]
+        parity_ratio = (
+            parity.messages_sent["Transactions"]
+            / parity.messages_received["Transactions"]
+        )
+        assert geth_ratio > 3 * parity_ratio
+
+    def test_ping_pong_symmetry(self, geth):
+        assert geth.messages_sent["Ping"] == geth.messages_received["Pong"]
+
+    def test_run_length_scales_counts(self):
+        short = run_case_study(GETH_PROFILE, days=2.0, seed=3)
+        long = run_case_study(GETH_PROFILE, days=6.0, seed=3)
+        assert (
+            long.messages_received["Transactions"]
+            > 2 * short.messages_received["Transactions"]
+        )
+
+    def test_deterministic_with_seed(self):
+        a = run_case_study(GETH_PROFILE, days=2.0, seed=9)
+        b = run_case_study(GETH_PROFILE, days=2.0, seed=9)
+        assert a.messages_sent == b.messages_sent
+        assert a.disconnects_received == b.disconnects_received

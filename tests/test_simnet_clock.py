@@ -1,0 +1,111 @@
+"""SimClock tests: ordering, scheduling, periodic events."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.simnet.clock import SECONDS_PER_DAY, SimClock
+
+
+class TestScheduling:
+    def test_events_run_in_time_order(self):
+        clock = SimClock()
+        order = []
+        clock.schedule(5.0, lambda: order.append("b"))
+        clock.schedule(1.0, lambda: order.append("a"))
+        clock.schedule(9.0, lambda: order.append("c"))
+        clock.run_until(10.0)
+        assert order == ["a", "b", "c"]
+
+    def test_ties_run_fifo(self):
+        clock = SimClock()
+        order = []
+        for name in "abc":
+            clock.schedule(1.0, lambda n=name: order.append(n))
+        clock.run_until(2.0)
+        assert order == ["a", "b", "c"]
+
+    def test_now_advances_to_event_time(self):
+        clock = SimClock()
+        seen = []
+        clock.schedule(3.5, lambda: seen.append(clock.now))
+        clock.run_until(10.0)
+        assert seen == [3.5]
+        assert clock.now == 10.0
+
+    def test_negative_delay_rejected(self):
+        clock = SimClock()
+        with pytest.raises(SimulationError):
+            clock.schedule(-1.0, lambda: None)
+
+    def test_schedule_at_absolute(self):
+        clock = SimClock(start=100.0)
+        seen = []
+        clock.schedule_at(105.0, lambda: seen.append(clock.now))
+        clock.run_until(110.0)
+        assert seen == [105.0]
+
+    def test_events_after_deadline_stay_queued(self):
+        clock = SimClock()
+        seen = []
+        clock.schedule(5.0, lambda: seen.append(1))
+        clock.run_until(3.0)
+        assert seen == []
+        assert clock.pending == 1
+        clock.run_until(6.0)
+        assert seen == [1]
+
+    def test_events_scheduled_during_run(self):
+        clock = SimClock()
+        seen = []
+
+        def first():
+            clock.schedule(1.0, lambda: seen.append("second"))
+
+        clock.schedule(1.0, first)
+        clock.run_until(5.0)
+        assert seen == ["second"]
+
+
+class TestPeriodic:
+    def test_schedule_every(self):
+        clock = SimClock()
+        ticks = []
+        clock.schedule_every(10.0, lambda: ticks.append(clock.now))
+        clock.run_until(45.0)
+        assert ticks == [10.0, 20.0, 30.0, 40.0]
+
+    def test_schedule_every_until(self):
+        clock = SimClock()
+        ticks = []
+        clock.schedule_every(10.0, lambda: ticks.append(clock.now), until=25.0)
+        clock.run_until(100.0)
+        assert ticks == [10.0, 20.0]
+
+    def test_zero_interval_rejected(self):
+        with pytest.raises(SimulationError):
+            SimClock().schedule_every(0.0, lambda: None)
+
+    def test_max_events_guard(self):
+        clock = SimClock()
+        clock.schedule_every(0.001, lambda: None)
+        with pytest.raises(SimulationError):
+            clock.run_until(100.0, max_events=50)
+
+
+class TestTimeHelpers:
+    def test_day_property(self):
+        clock = SimClock(start=2.5 * SECONDS_PER_DAY)
+        assert clock.day == 2
+        assert clock.hour_of_day == pytest.approx(12.0)
+
+    def test_run_for(self):
+        clock = SimClock(start=100.0)
+        clock.run_for(50.0)
+        assert clock.now == 150.0
+
+    def test_events_processed_counter(self):
+        clock = SimClock()
+        for _ in range(5):
+            clock.schedule(1.0, lambda: None)
+        clock.run_until(2.0)
+        assert clock.events_processed == 5

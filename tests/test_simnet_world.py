@@ -1,0 +1,232 @@
+"""World behaviour tests: geography, dialing, discovery, factories."""
+
+import random
+
+import pytest
+
+from repro.simnet.clock import SECONDS_PER_DAY
+from repro.simnet.geo import (
+    AS_DISTRIBUTION,
+    COUNTRY_DISTRIBUTION,
+    GeoModel,
+)
+from repro.simnet.node import DialOutcome
+from repro.simnet.population import PopulationConfig
+from repro.simnet.world import SimWorld, WorldConfig
+
+
+@pytest.fixture(scope="module")
+def world():
+    return SimWorld(
+        WorldConfig(
+            population=PopulationConfig(total_nodes=400, measurement_days=3.0, seed=3),
+            seed=3,
+        )
+    )
+
+
+class TestGeoModel:
+    def test_country_marginals(self):
+        geo = GeoModel(random.Random(1))
+        locations = [geo.assign() for _ in range(4000)]
+        histogram = geo.country_histogram(locations)
+        assert 0.38 < histogram["US"] < 0.48   # paper: 43.2%
+        assert 0.09 < histogram["CN"] < 0.17   # paper: 12.9%
+
+    def test_top8_as_concentration(self):
+        geo = GeoModel(random.Random(2))
+        locations = [geo.assign() for _ in range(4000)]
+        shares = sorted(geo.as_histogram(locations).values(), reverse=True)
+        top8 = sum(shares[:8])
+        assert 0.38 < top8 < 0.52  # paper: 44.8%
+
+    def test_unique_ips(self):
+        geo = GeoModel(random.Random(3))
+        ips = [geo.assign().ip for _ in range(2000)]
+        assert len(set(ips)) == len(ips)
+
+    def test_rtt_positive_and_region_sensitive(self):
+        geo = GeoModel(random.Random(4))
+        us = next(loc for loc in iter(geo.assign, None) if loc.region == "na")
+        asia = next(loc for loc in iter(geo.assign, None) if loc.region == "asia")
+        rng = random.Random(5)
+        same = sum(geo.rtt(us, us, rng) for _ in range(50)) / 50
+        cross = sum(geo.rtt(us, asia, rng) for _ in range(50)) / 50
+        assert 0 < same < cross
+
+    def test_distribution_tables_sum_to_one(self):
+        assert sum(share for _, share, _ in COUNTRY_DISTRIBUTION) == pytest.approx(1.0, abs=0.01)
+        assert sum(share for _, share, _ in AS_DISTRIBUTION) < 1.0
+
+
+class TestDialing:
+    def test_dial_unknown_node_times_out(self, world):
+        from repro.simnet.world import NodeAddress
+
+        result = world.dial(
+            NodeAddress(b"\x99" * 64, "1.2.3.4", 30303, 30303),
+            "dynamic-dial",
+            world.geo.assign(),
+        )
+        assert result.outcome is DialOutcome.TIMEOUT
+
+    def test_dial_unreachable_node_times_out(self, world):
+        node = next(
+            n for n in world.nodes.values()
+            if not n.spec.reachable and n.spec.is_online(world.day)
+        )
+        result = world.dial(world.node_address(node), "dynamic-dial", world.geo.assign())
+        assert result.outcome is DialOutcome.TIMEOUT
+
+    def test_incoming_from_unreachable_node_succeeds(self, world):
+        node = next(
+            n for n in world.nodes.values()
+            if not n.spec.reachable
+            and n.spec.is_online(world.day)
+            and n.spec.service == "eth"
+        )
+        # retry a few times: stochastic per-dial failures exist
+        outcomes = set()
+        for _ in range(20):
+            result = node.handle_connection(
+                now=world.now,
+                connection_type="incoming",
+                chain=world.chain_for(node.spec),
+                world_height=world.mainnet_height,
+                rtt=0.05,
+            )
+            outcomes.add(result.outcome)
+        assert DialOutcome.TIMEOUT not in outcomes
+        assert (
+            DialOutcome.FULL_HARVEST in outcomes
+            or DialOutcome.HELLO_NO_STATUS in outcomes
+        )
+
+    def test_full_node_sends_too_many_peers(self, world):
+        node = next(
+            n for n in world.nodes.values()
+            if n.occupancy > 0.9 and n.spec.reachable and n.spec.is_online(world.day)
+        )
+        from repro.devp2p.messages import DisconnectReason
+
+        reasons = []
+        for _ in range(30):
+            result = world.dial(
+                world.node_address(node), "static-dial", world.geo.assign()
+            )
+            if result.disconnect_reason is not None:
+                reasons.append(result.disconnect_reason)
+        assert DisconnectReason.TOO_MANY_PEERS in reasons
+
+    def test_harvest_contains_status_and_dao(self, world):
+        node = next(
+            n for n in world.nodes.values()
+            if n.spec.is_mainnet and n.occupancy < 0.9
+            and n.spec.reachable and n.spec.is_online(world.day)
+        )
+        for _ in range(50):
+            result = world.dial(
+                world.node_address(node), "static-dial", world.geo.assign()
+            )
+            if result.outcome is DialOutcome.FULL_HARVEST:
+                assert result.network_id == 1
+                assert result.genesis_hash == world.mainnet.genesis_hash
+                assert result.dao_side == "supports"
+                assert result.best_block is not None
+                assert result.client_id
+                break
+        else:
+            pytest.fail("never harvested the node")
+
+    def test_classic_node_opposes_fork(self, world):
+        node = next(
+            n for n in world.nodes.values() if n.spec.network_name == "classic"
+        )
+        answer = node.dao_answer(world.mainnet_height)
+        if node.best_block(world.mainnet_height) >= 1_920_000:
+            assert answer == "opposes"
+        else:
+            assert answer == "empty"
+
+    def test_stuck_byzantium_best_block(self, world):
+        from repro.ethproto.forks import BYZANTIUM_BLOCK
+
+        stuck = [
+            n for n in world.nodes.values()
+            if n.spec.freshness == "stuck-byzantium"
+        ]
+        for node in stuck:
+            assert node.best_block(world.mainnet_height) == BYZANTIUM_BLOCK + 1
+
+
+class TestDiscoveryPlumbing:
+    def test_find_node_query_answers_from_reachable_online(self, world):
+        node = next(
+            n for n in world.nodes.values()
+            if n.spec.reachable and n.spec.is_online(world.day) and n.neighbors
+        )
+        answer = world.find_node_query(world.node_address(node), b"\x07" * 64)
+        assert answer is not None
+        assert 0 < len(answer) <= 16
+
+    def test_find_node_query_unreachable_is_silent(self, world):
+        node = next(
+            n for n in world.nodes.values() if not n.spec.reachable
+        )
+        assert world.find_node_query(world.node_address(node), b"\x07" * 64) is None
+
+    def test_parity_answers_differ_from_geth(self, world):
+        target = b"\x55" * 32
+        node = next(
+            n for n in world.nodes.values()
+            if n.spec.metric == "parity" and len(n.neighbors) > 20
+        )
+        parity_answer = node.find_node(target, count=10)
+        node.spec.metric = "geth"
+        geth_answer = node.find_node(target, count=10)
+        node.spec.metric = "parity"
+        assert [n.spec.node_id for n in parity_answer] != [
+            n.spec.node_id for n in geth_answer
+        ]
+
+    def test_bootstrap_addresses_stable(self, world):
+        bootstrap = world.bootstrap_addresses()
+        assert bootstrap
+        assert bootstrap == world.bootstrap_addresses()
+        for address in bootstrap:
+            node = world.nodes[address.node_id]
+            assert node.spec.reachable
+            assert node.spec.uptime_fraction >= 0.999
+
+
+class TestWorldDynamics:
+    def test_chain_grows_with_time(self):
+        small = SimWorld(
+            WorldConfig(
+                population=PopulationConfig(total_nodes=50, measurement_days=2.0, seed=9)
+            )
+        )
+        height_before = small.mainnet_height
+        small.run_days(1.0)
+        assert small.mainnet_height > height_before
+        # ~5,760 blocks per day at 15s intervals
+        assert small.mainnet_height - height_before == pytest.approx(5760, rel=0.05)
+
+    def test_factory_ids_mostly_fresh(self, world):
+        factory = world.factories[0]
+        ids = {factory.current_node_id(float(i)) for i in range(50)}
+        assert len(ids) > 35  # 80% fresh per call
+
+    def test_factory_dial_result_shape(self, world):
+        factory = world.factories[0]
+        result = factory.dial_result(0.0, world.mainnet)
+        assert result.best_hash == world.mainnet.genesis_hash
+        assert result.network_id == 1
+        assert result.client_id == factory.spec.client_string
+        assert result.connection_type == "incoming"
+
+    def test_ground_truth_mainnet(self, world):
+        truth = world.ground_truth_mainnet(world.day)
+        assert truth
+        for node in truth[:20]:
+            assert node.spec.is_mainnet
