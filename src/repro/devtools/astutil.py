@@ -1,0 +1,81 @@
+"""Small AST helpers shared by the rule implementations."""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+
+def dotted_name(node: ast.AST) -> str | None:
+    """``a.b.c`` for a Name/Attribute chain, None for anything else."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def import_aliases(tree: ast.AST) -> dict[str, str]:
+    """Map local names to the dotted thing they import.
+
+    ``import random as r`` -> ``{"r": "random"}``;
+    ``from random import randint`` -> ``{"randint": "random.randint"}``;
+    ``from datetime import datetime`` -> ``{"datetime": "datetime.datetime"}``.
+    Scope is ignored — good enough for lint resolution.
+    """
+    aliases: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                aliases[alias.asname or alias.name.split(".")[0]] = (
+                    alias.name if alias.asname else alias.name.split(".")[0]
+                )
+        elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                aliases[alias.asname or alias.name] = f"{node.module}.{alias.name}"
+    return aliases
+
+
+def resolve_call(func: ast.AST, aliases: dict[str, str]) -> str | None:
+    """The fully-qualified dotted name a call target resolves to.
+
+    ``r.randint`` with ``import random as r`` -> ``random.randint``;
+    ``datetime.now`` with ``from datetime import datetime`` ->
+    ``datetime.datetime.now``.
+    """
+    name = dotted_name(func)
+    if name is None:
+        return None
+    head, _, rest = name.partition(".")
+    head = aliases.get(head, head)
+    return f"{head}.{rest}" if rest else head
+
+
+def walk_stopping_at_functions(node: ast.AST) -> Iterator[ast.AST]:
+    """Walk a subtree but do not descend into nested function bodies.
+
+    The *top* node is yielded even when it is itself a function — callers
+    pass a loop body, handler body, or function node whose own nested
+    ``def``s establish a different async/exception context.
+    """
+    stack = [node]
+    while stack:
+        current = stack.pop()
+        yield current
+        for child in ast.iter_child_nodes(current):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                continue
+            stack.append(child)
+
+
+def contains_await(node: ast.AST) -> bool:
+    """True when the subtree awaits (excluding nested function bodies)."""
+    return any(
+        isinstance(child, (ast.Await, ast.AsyncFor, ast.AsyncWith))
+        for child in walk_stopping_at_functions(node)
+    )

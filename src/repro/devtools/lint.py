@@ -1,0 +1,116 @@
+"""The ``reprolint`` command line: ``python -m repro.devtools.lint src/``.
+
+Exit status: 0 when the tree is clean, 1 when any finding (or parse
+error) is reported, 2 on usage errors (argparse's convention).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from collections import Counter
+from typing import Sequence
+
+from repro.devtools.registry import all_rules, known_codes
+from repro.devtools.runner import iter_python_files, lint_paths
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.devtools.lint",
+        description=(
+            "reprolint: AST checks for the project's reproducibility, "
+            "asyncio, and bytes-hygiene invariants"
+        ),
+    )
+    parser.add_argument(
+        "paths", nargs="*", default=["src"], help="files or directories to lint"
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--select",
+        metavar="CODES",
+        help="comma-separated rule codes to run (default: all)",
+    )
+    parser.add_argument(
+        "--ignore",
+        metavar="CODES",
+        help="comma-separated rule codes to skip",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the registered rules and exit",
+    )
+    return parser
+
+
+def _split_codes(
+    raw: str | None, parser: argparse.ArgumentParser
+) -> list[str] | None:
+    if raw is None:
+        return None
+    codes = [code.strip() for code in raw.split(",") if code.strip()]
+    if not codes:
+        parser.error("expected at least one rule code (e.g. SIM-DET)")
+    unknown = set(codes) - known_codes()
+    if unknown:
+        parser.error(f"unknown rule code(s): {', '.join(sorted(unknown))}")
+    return codes
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in all_rules():
+            where = ", ".join(rule.scope) if rule.scope else "everywhere"
+            print(f"{rule.code:14} [{where}] {rule.description}")
+        return 0
+
+    select = _split_codes(args.select, parser)
+    ignore = _split_codes(args.ignore, parser)
+    checked = iter_python_files(args.paths)
+    if not checked:
+        # a typo'd path must not read as "clean" in CI
+        print(
+            f"error: no python files found under: {', '.join(args.paths)}",
+            file=sys.stderr,
+        )
+        return 2
+    findings = lint_paths(args.paths, select=select, ignore=ignore)
+    counts = Counter(finding.code for finding in findings)
+
+    if args.format == "json":
+        print(
+            json.dumps(
+                {
+                    "checked_files": len(checked),
+                    "findings": [finding.to_json() for finding in findings],
+                    "counts": dict(sorted(counts.items())),
+                },
+                indent=2,
+            )
+        )
+    else:
+        for finding in findings:
+            print(finding.format_text())
+        summary = (
+            f"reprolint: {len(findings)} finding(s) in {len(checked)} file(s)"
+            if findings
+            else f"reprolint: clean ({len(checked)} file(s) checked)"
+        )
+        print(summary, file=sys.stderr)
+
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,89 @@
+"""Rule base class and the global rule registry.
+
+A rule is a class with a ``code`` (the family identifier used in reports
+and in ``# reprolint: disable=CODE`` comments), an optional path
+``scope`` restricting which packages it runs over, and a ``check``
+method yielding :class:`~repro.devtools.findings.Finding` objects for
+one parsed module.  Decorating the class with :func:`register` makes the
+runner and the CLI pick it up.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import TYPE_CHECKING, Iterable, Iterator, Type
+
+from repro.devtools.findings import Finding
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.devtools.source import ModuleSource
+
+
+class Rule:
+    """Base class for one lint rule family."""
+
+    #: family identifier, e.g. ``SIM-DET``; used in output and suppressions
+    code: str = ""
+    #: short human name
+    name: str = ""
+    #: one-paragraph rationale shown by ``--list-rules``
+    description: str = ""
+    #: directory names the rule is restricted to (any match in the path);
+    #: ``None`` means the rule applies to every file
+    scope: tuple[str, ...] | None = None
+
+    def applies_to(self, path: Path) -> bool:
+        if self.scope is None:
+            return True
+        parts = set(path.parts)
+        return any(segment in parts for segment in self.scope)
+
+    def check(self, module: "ModuleSource") -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding(
+        self, module: "ModuleSource", line: int, col: int, message: str
+    ) -> Finding:
+        return Finding(
+            path=str(module.path), line=line, col=col, code=self.code, message=message
+        )
+
+
+_REGISTRY: dict[str, Type[Rule]] = {}
+
+
+def register(cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator adding a rule to the global registry."""
+    if not cls.code:
+        raise ValueError(f"rule {cls.__name__} has no code")
+    if cls.code in _REGISTRY:
+        raise ValueError(f"duplicate rule code {cls.code}")
+    _REGISTRY[cls.code] = cls
+    return cls
+
+
+def all_rules() -> list[Rule]:
+    """Instantiate every registered rule, sorted by code."""
+    import repro.devtools.rules  # noqa: F401  (imports register the rules)
+
+    return [_REGISTRY[code]() for code in sorted(_REGISTRY)]
+
+
+def known_codes() -> set[str]:
+    import repro.devtools.rules  # noqa: F401
+
+    return set(_REGISTRY)
+
+
+def select_rules(
+    select: Iterable[str] | None = None, ignore: Iterable[str] | None = None
+) -> list[Rule]:
+    """The registered rules filtered by ``--select`` / ``--ignore`` codes."""
+    rules = all_rules()
+    if select is not None:
+        wanted = set(select)
+        rules = [rule for rule in rules if rule.code in wanted]
+    if ignore is not None:
+        dropped = set(ignore)
+        rules = [rule for rule in rules if rule.code not in dropped]
+    return rules

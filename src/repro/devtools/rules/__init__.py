@@ -1,0 +1,30 @@
+"""Rule implementations; importing this package registers every rule.
+
+Families
+--------
+``SIM-DET``
+    No ambient nondeterminism (global RNG, wall clock, datetime, entropy)
+    inside ``repro.simnet`` / ``repro.chain`` — thread a seeded
+    ``random.Random`` and the ``SimClock`` instead.
+``ASYNC-BLOCK``
+    No blocking calls (``time.sleep``, blocking socket/subprocess/url
+    calls) or unbounded await-free loops inside ``async def``.
+``ASYNC-CANCEL``
+    Never swallow ``asyncio.CancelledError`` — re-raise it, including
+    when it is caught via a tuple or a bare/``BaseException`` handler
+    around awaited code.
+``EXC-SILENT``
+    No bare ``except:`` and no ``except Exception: pass`` silencers
+    anywhere in the tree.
+``CRYPTO-BYTES``
+    In the wire-format layers (``repro.crypto``/``repro.rlp``/
+    ``repro.rlpx``): no str/bytes comparisons, no ``str`` defaults on
+    ``bytes`` parameters, no ``+`` mixing str- and bytes-typed values.
+"""
+
+from repro.devtools.rules import (  # noqa: F401
+    async_rules,
+    crypto_bytes,
+    exc_silent,
+    sim_det,
+)

@@ -1,0 +1,91 @@
+"""SIM-DET: the simulated world must be reproducible from a seed.
+
+Every paper figure derived from ``repro.simnet``/``repro.chain`` is only
+comparable across runs because the whole world hangs off one seeded
+``random.Random`` and one ``SimClock``.  A single ``random.random()`` or
+``time.time()`` smuggled into sim code silently destroys that property,
+so it is a lint error rather than a review note.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import ast
+
+from repro.devtools.astutil import import_aliases, resolve_call
+from repro.devtools.findings import Finding
+from repro.devtools.registry import Rule, register
+from repro.devtools.source import ModuleSource
+
+#: constructors on the ``random`` module that are fine: they create an
+#: explicitly-seeded (or explicitly OS-backed) generator to be threaded.
+_RANDOM_ALLOWED = {"Random", "SystemRandom"}
+
+_WALL_CLOCKS = {
+    "time.time",
+    "time.time_ns",
+    "time.monotonic",
+    "time.monotonic_ns",
+    "time.perf_counter",
+    "time.perf_counter_ns",
+}
+
+_DATETIME_BANNED = {
+    "datetime.datetime.now",
+    "datetime.datetime.utcnow",
+    "datetime.datetime.today",
+    "datetime.date.today",
+}
+
+_ENTROPY_BANNED = {"os.urandom", "uuid.uuid1", "uuid.uuid4"}
+
+
+@register
+class SimDeterminism(Rule):
+    code = "SIM-DET"
+    name = "sim-determinism"
+    description = (
+        "simnet/chain code must not read ambient nondeterminism (module-level "
+        "random.*, wall clocks, datetime.now, os.urandom); thread a seeded "
+        "random.Random and the SimClock instead"
+    )
+    scope = ("simnet", "chain")
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        aliases = import_aliases(module.tree)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            target = resolve_call(node.func, aliases)
+            if target is None:
+                continue
+            message = self._classify(target)
+            if message is not None:
+                yield self.finding(module, node.lineno, node.col_offset, message)
+
+    @staticmethod
+    def _classify(target: str) -> str | None:
+        if target.startswith("random."):
+            tail = target.split(".", 1)[1]
+            if tail.split(".")[0] not in _RANDOM_ALLOWED:
+                return (
+                    f"global-RNG call {target}() in sim code; thread a seeded "
+                    "random.Random instance instead"
+                )
+        if target in _WALL_CLOCKS:
+            return (
+                f"wall-clock read {target}() in sim code; use the SimClock "
+                "(clock.now) so runs are reproducible"
+            )
+        if target in _DATETIME_BANNED:
+            return (
+                f"{target}() reads the real calendar in sim code; derive dates "
+                "from the simulation epoch"
+            )
+        if target in _ENTROPY_BANNED or target.startswith("secrets."):
+            return (
+                f"OS-entropy call {target}() in sim code; draw from the seeded "
+                "random.Random instead"
+            )
+        return None

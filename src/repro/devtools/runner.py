@@ -1,0 +1,69 @@
+"""Walk paths, parse modules, run every applicable rule, collect findings."""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.devtools.findings import Finding
+from repro.devtools.registry import Rule, select_rules
+from repro.devtools.source import ModuleSource
+
+#: directories never descended into
+_SKIP_DIRS = {"__pycache__", ".git", ".venv", "venv", "build", "dist"}
+
+#: pseudo-rule code for unparseable files (not suppressible)
+PARSE_ERROR = "PARSE-ERROR"
+
+
+def iter_python_files(paths: Iterable[Path | str]) -> list[Path]:
+    """Every ``.py`` file under the given files/directories, sorted."""
+    files: set[Path] = set()
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            for candidate in path.rglob("*.py"):
+                if not _SKIP_DIRS & set(candidate.parts):
+                    files.add(candidate)
+        elif path.suffix == ".py":
+            files.add(path)
+    return sorted(files)
+
+
+def lint_file(path: Path, rules: Sequence[Rule]) -> list[Finding]:
+    """All unsuppressed findings for one file."""
+    try:
+        module = ModuleSource.parse(path)
+    except (SyntaxError, UnicodeDecodeError) as exc:
+        line = getattr(exc, "lineno", None) or 1
+        offset = getattr(exc, "offset", None) or 1
+        return [
+            Finding(
+                path=str(path),
+                line=line,
+                col=offset,
+                code=PARSE_ERROR,
+                message=f"cannot parse file: {exc.msg if hasattr(exc, 'msg') else exc}",
+            )
+        ]
+    findings = []
+    for rule in rules:
+        if not rule.applies_to(path):
+            continue
+        for finding in rule.check(module):
+            if not module.is_suppressed(finding.line, finding.code):
+                findings.append(finding)
+    return findings
+
+
+def lint_paths(
+    paths: Iterable[Path | str],
+    select: Iterable[str] | None = None,
+    ignore: Iterable[str] | None = None,
+) -> list[Finding]:
+    """Lint files/directories; the programmatic entry point used by tests."""
+    rules = select_rules(select=select, ignore=ignore)
+    findings: list[Finding] = []
+    for path in iter_python_files(paths):
+        findings.extend(lint_file(path, rules))
+    return sorted(findings)

@@ -1,0 +1,85 @@
+"""Parsed module + suppression comments, shared by every rule.
+
+Suppression syntax (comments, matched with :mod:`tokenize` so string
+literals containing ``#`` can never trigger them):
+
+``# reprolint: disable=CODE[,CODE...]``
+    On a code line: suppress those families for findings on that line.
+    On a comment-only line: suppress them for the following line too.
+
+``# reprolint: disable-file=CODE[,CODE...]``
+    Anywhere in the file: suppress those families for the whole file.
+
+``all`` is accepted as a code and suppresses every family.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*reprolint:\s*(?P<kind>disable-file|disable)\s*=\s*"
+    r"(?P<codes>[A-Za-z0-9_,\- ]+)"
+)
+
+
+@dataclass
+class ModuleSource:
+    """One parsed python file plus its suppression map."""
+
+    path: Path
+    text: str
+    tree: ast.Module
+    #: line number -> set of suppressed codes (may contain ``"all"``)
+    line_suppressions: dict[int, set[str]] = field(default_factory=dict)
+    #: codes suppressed for the entire file
+    file_suppressions: set[str] = field(default_factory=set)
+
+    @classmethod
+    def parse(cls, path: Path) -> "ModuleSource":
+        """Read and parse ``path``; raises ``SyntaxError`` on bad source."""
+        text = path.read_text(encoding="utf-8")
+        tree = ast.parse(text, filename=str(path))
+        module = cls(path=path, text=text, tree=tree)
+        module._collect_suppressions()
+        return module
+
+    def _collect_suppressions(self) -> None:
+        try:
+            tokens = list(tokenize.generate_tokens(io.StringIO(self.text).readline))
+        except (tokenize.TokenError, IndentationError):  # pragma: no cover
+            return
+        for token in tokens:
+            if token.type != tokenize.COMMENT:
+                continue
+            match = _SUPPRESS_RE.search(token.string)
+            if match is None:
+                continue
+            codes = {
+                code.strip()
+                for code in match.group("codes").split(",")
+                if code.strip()
+            }
+            if not codes:
+                continue
+            if match.group("kind") == "disable-file":
+                self.file_suppressions |= codes
+                continue
+            line = token.start[0]
+            self.line_suppressions.setdefault(line, set()).update(codes)
+            # a comment on its own line guards the statement below it
+            if self.text.splitlines()[line - 1].lstrip().startswith("#"):
+                self.line_suppressions.setdefault(line + 1, set()).update(codes)
+
+    def is_suppressed(self, line: int, code: str) -> bool:
+        if "all" in self.file_suppressions or code in self.file_suppressions:
+            return True
+        active = self.line_suppressions.get(line)
+        if active is None:
+            return False
+        return "all" in active or code in active

@@ -11,7 +11,7 @@ does.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Iterator, Optional
 
 from repro.discovery.enode import ENode

@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import ipaddress
 import time
-from typing import NamedTuple, Sequence, Type
+from typing import NamedTuple, Type
 
 from repro.crypto.keccak import keccak256
 from repro.crypto.keys import PrivateKey, PublicKey, Signature

@@ -19,7 +19,7 @@ describes:
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
 from repro.chain.header import BlockHeader

@@ -173,8 +173,12 @@ class FullNode:
             pass
         except (ConnectionError, OSError, asyncio.TimeoutError, asyncio.IncompleteReadError):
             pass
-        except asyncio.CancelledError:
-            # server shutting down mid-session: close quietly
+        except asyncio.CancelledError:  # reprolint: disable=ASYNC-CANCEL
+            # server shutting down mid-session: close quietly.  Re-raising
+            # from a start_server callback is noisy on 3.11 — the streams
+            # machinery retrieves task.exception() without a cancelled()
+            # guard and logs "Exception in callback" for every cancelled
+            # handler (fixed upstream in 3.12).
             pass
         finally:
             self.peers.pop(peer.remote_node_id, None)

@@ -14,9 +14,10 @@ exercises every loop in a few wall-clock seconds.
 from __future__ import annotations
 
 import asyncio
+import logging
 import time
 from dataclasses import dataclass
-from typing import Optional
+from typing import Callable, Optional
 
 from repro.crypto.keys import PrivateKey
 from repro.discovery.enode import ENode
@@ -24,6 +25,8 @@ from repro.discovery.protocol import DiscoveryService
 from repro.nodefinder.database import NodeDB
 from repro.nodefinder.wire import harvest
 from repro.simnet.node import DialOutcome
+
+logger = logging.getLogger(__name__)
 
 
 @dataclass
@@ -45,15 +48,22 @@ class LiveNodeFinder:
         private_key: PrivateKey | None = None,
         config: LiveConfig | None = None,
         host: str = "127.0.0.1",
+        clock: Callable[[], float] | None = None,
     ) -> None:
         self.private_key = private_key or PrivateKey.generate()
         self.config = config or LiveConfig()
         self.host = host
+        #: one injectable clock drives redial scheduling, record timestamps,
+        #: and stale-address pruning, so tests can advance time without
+        #: sleeping; monotonic by default (wall-clock jumps must not expire
+        #: or re-schedule dials)
+        self.clock = clock if clock is not None else time.monotonic
         self.db = NodeDB()
         self.discovery: Optional[DiscoveryService] = None
         #: node id -> (enode, next static dial time)
         self.static_nodes: dict[bytes, tuple[ENode, float]] = {}
         self._tasks: list[asyncio.Task] = []
+        self._stopping = False
         self._dial_semaphore = asyncio.Semaphore(self.config.max_active_dials)
         self._dialed_once: set[bytes] = set()
         self.stats = {"lookups": 0, "dynamic_dials": 0, "static_dials": 0}
@@ -70,13 +80,21 @@ class LiveNodeFinder:
         return self
 
     async def stop(self) -> None:
+        self._stopping = True
+        pending: set[asyncio.Task] = set(self._tasks)
+        while pending:
+            # re-cancel until every loop actually finishes: a cancellation
+            # delivered while a dial sits inside asyncio.wait_for can be
+            # absorbed by the wait_for timeout/completion race (fixed
+            # upstream in 3.12), leaving the loop alive after one cancel
+            for task in pending:
+                task.cancel()
+            _, pending = await asyncio.wait(pending, timeout=1.0)
+        # no except clause here: asyncio.wait never raises, and a crashed
+        # (non-cancelled) loop is surfaced instead of silently dropped
         for task in self._tasks:
-            task.cancel()
-        for task in self._tasks:
-            try:
-                await task
-            except (asyncio.CancelledError, Exception):
-                pass
+            if task.done() and not task.cancelled() and task.exception():
+                logger.warning("crawler task %r died with %r", task, task.exception())
         if self.discovery is not None:
             self.discovery.close()
 
@@ -84,7 +102,7 @@ class LiveNodeFinder:
 
     async def _discovery_loop(self) -> None:
         assert self.discovery is not None
-        while True:
+        while not self._stopping:
             target = PrivateKey.generate().public_key.to_bytes()
             found = await self.discovery.lookup(target)
             self.stats["lookups"] += 1
@@ -102,8 +120,8 @@ class LiveNodeFinder:
             await asyncio.sleep(self.config.lookup_interval)
 
     async def _static_loop(self) -> None:
-        while True:
-            now = time.monotonic()
+        while not self._stopping:
+            now = self.clock()
             due = [
                 node
                 for node, (enode, next_dial) in list(self.static_nodes.items())
@@ -122,7 +140,7 @@ class LiveNodeFinder:
             )
 
     def _prune_stale(self) -> None:
-        horizon = time.time() - self.config.stale_address_age
+        horizon = self.clock() - self.config.stale_address_age
         for entry in list(self.db):
             if 0 <= entry.last_success < horizon:
                 self.static_nodes.pop(entry.node_id, None)
@@ -137,6 +155,7 @@ class LiveNodeFinder:
                 self.private_key,
                 connection_type=connection_type,
                 dial_timeout=self.config.dial_timeout,
+                clock=self.clock,
             )
         key = "dynamic_dials" if connection_type == "dynamic-dial" else "static_dials"
         self.stats[key] += 1
@@ -145,7 +164,7 @@ class LiveNodeFinder:
             # §4: completed dials join StaticNodes for 30-minute re-dials
             self.static_nodes.setdefault(
                 target.node_id,
-                (target, time.monotonic() + self.config.static_dial_interval),
+                (target, self.clock() + self.config.static_dial_interval),
             )
 
     async def crawl_for(self, seconds: float) -> NodeDB:

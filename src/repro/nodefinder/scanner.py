@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import random
 import zlib
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 from repro.discovery.enode import ENode, _cached_id_hash as cached_id_hash

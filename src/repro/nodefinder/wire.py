@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import asyncio
 import time
-from typing import Iterable
+from typing import Callable, Iterable
 
 from repro.crypto.keys import PrivateKey, PublicKey
 from repro.devp2p.messages import Capability, DisconnectReason, HelloMessage
@@ -62,11 +62,19 @@ async def harvest(
     key: PrivateKey,
     connection_type: str = "dynamic-dial",
     dial_timeout: float = 5.0,
+    clock: Callable[[], float] | None = None,
 ) -> DialResult:
-    """Run the full §4 harvest against one live peer."""
+    """Run the full §4 harvest against one live peer.
+
+    ``clock`` stamps the result record; callers running a scheduled crawl
+    (``LiveNodeFinder``) pass their own so database timestamps share the
+    scheduler's timeline.  Defaults to wall-clock epoch seconds, the
+    paper's measurement-log convention.
+    """
     started = time.monotonic()
+    now = clock if clock is not None else time.time
     base = dict(
-        timestamp=time.time(),
+        timestamp=now(),
         node_id=target.node_id,
         ip=target.ip,
         tcp_port=target.tcp_port,

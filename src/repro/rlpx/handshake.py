@@ -31,7 +31,7 @@ from dataclasses import dataclass
 from repro.crypto.ecies import ecies_decrypt, ecies_encrypt
 from repro.crypto.keccak import Keccak256, keccak256
 from repro.crypto.keys import PrivateKey, PublicKey, Signature
-from repro.errors import DecodingError, DeserializationError, HandshakeError
+from repro.errors import DecodingError, HandshakeError
 from repro.rlp import codec
 from repro.rlpx.frame import Secrets
 

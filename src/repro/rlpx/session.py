@@ -15,7 +15,7 @@ import sys
 from typing import Optional
 
 from repro.crypto.keys import PrivateKey, PublicKey
-from repro.errors import FramingError, HandshakeError
+from repro.errors import HandshakeError
 from repro.rlpx.frame import HEADER_LEN, MAC_LEN, FrameCodec
 from repro.rlpx.handshake import (
     HandshakeResult,

@@ -25,8 +25,6 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from repro.chain.genesis import MAINNET_GENESIS_HASH, custom_genesis
-from repro.crypto.keccak import keccak256
-from repro.ethproto.forks import BYZANTIUM_BLOCK
 from repro.simnet.geo import GeoModel, Location
 from repro.simnet.releases import (
     MEASUREMENT_DAYS,

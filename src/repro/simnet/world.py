@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Callable, NamedTuple, Optional, Protocol
+from typing import NamedTuple, Optional, Protocol
 
 from repro.chain.synthetic import (
     MAINNET_HEIGHT_APRIL_2018,

@@ -1,0 +1,18 @@
+"""Fixture: blocking primitives inside async def — must fire ASYNC-BLOCK."""
+
+import socket
+import time
+
+
+async def dial_with_blocking_sleep():
+    time.sleep(0.5)
+
+
+async def resolve_blocking(host: str):
+    return socket.getaddrinfo(host, 30303)
+
+
+async def spin_forever():
+    count = 0
+    while True:
+        count += 1

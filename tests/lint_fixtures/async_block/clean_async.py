@@ -1,0 +1,24 @@
+"""Fixture: well-behaved async code — must NOT fire any rule."""
+
+import asyncio
+import time
+
+
+async def dial_with_async_sleep():
+    await asyncio.sleep(0.5)
+
+
+async def serve_loop(queue):
+    while True:
+        item = await queue.get()
+        if item is None:
+            break
+
+
+def sync_sleep_is_fine():
+    time.sleep(0.01)
+
+
+def sync_spin_is_fine():
+    while True:
+        pass

@@ -1,0 +1,25 @@
+"""Fixture: swallowed cancellation — must fire ASYNC-CANCEL."""
+
+import asyncio
+from asyncio import CancelledError
+
+
+async def swallow_explicit(task):
+    try:
+        await task
+    except asyncio.CancelledError:
+        pass
+
+
+async def swallow_in_tuple(task):
+    try:
+        await task
+    except (CancelledError, ValueError):
+        return None
+
+
+async def swallow_via_base_exception(task):
+    try:
+        await task
+    except BaseException:
+        return None

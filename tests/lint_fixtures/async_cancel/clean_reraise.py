@@ -1,0 +1,25 @@
+"""Fixture: cancellation-safe handlers — must NOT fire any rule."""
+
+import asyncio
+
+
+async def reraise_explicit(task):
+    try:
+        await task
+    except asyncio.CancelledError:
+        raise
+
+
+async def cleanup_then_reraise(task, resource):
+    try:
+        await task
+    except asyncio.CancelledError:
+        resource.close()
+        raise
+
+
+async def narrow_catch_is_fine(task):
+    try:
+        await task
+    except (ValueError, OSError):
+        return None

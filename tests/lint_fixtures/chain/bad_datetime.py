@@ -1,0 +1,11 @@
+"""Fixture: chain code reading the real calendar — must fire SIM-DET."""
+
+import datetime
+
+
+def genesis_timestamp():
+    return datetime.datetime.utcnow()
+
+
+def fork_day():
+    return datetime.date.today()

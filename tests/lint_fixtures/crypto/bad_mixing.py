@@ -1,0 +1,19 @@
+"""Fixture: str/bytes mixing in wire-format code — must fire CRYPTO-BYTES."""
+
+
+def compare_literals(tag: bytes) -> bool:
+    return tag == "ping"
+
+
+def str_default_for_bytes_param(nonce: bytes = "") -> bytes:
+    return nonce
+
+
+def concat_mixed(prefix: bytes):
+    header = "rlpx" + prefix
+    return header
+
+
+def compare_annotated_local(payload):
+    magic: bytes = payload[:4]
+    return magic != "eth?"

@@ -1,0 +1,21 @@
+"""Fixture: proper bytes discipline — must NOT fire any rule."""
+
+
+def compare_bytes(tag: bytes) -> bool:
+    return tag == b"ping"
+
+
+def bytes_default(nonce: bytes = b"") -> bytes:
+    return nonce
+
+
+def concat_bytes(prefix: bytes) -> bytes:
+    return b"rlpx" + prefix
+
+
+def str_world(client_id: str) -> bool:
+    return client_id == "Geth/v1.7.3" or ("geth" + client_id).startswith("g")
+
+
+def decode_then_compare(raw: bytes) -> bool:
+    return raw.decode("ascii") == "hello"

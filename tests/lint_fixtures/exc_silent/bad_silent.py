@@ -1,0 +1,15 @@
+"""Fixture: silent exception swallowing — must fire EXC-SILENT."""
+
+
+def bare_except(payload):
+    try:
+        return payload.decode()
+    except:  # noqa: E722
+        return None
+
+
+def broad_silencer(payload):
+    try:
+        return int(payload)
+    except Exception:
+        pass

@@ -1,0 +1,23 @@
+"""Fixture: acceptable exception handling — must NOT fire any rule."""
+
+
+def narrow_pass(payload):
+    try:
+        return int(payload)
+    except ValueError:
+        return None
+
+
+def broad_but_handled(payload, log):
+    try:
+        return int(payload)
+    except Exception as exc:
+        log.warning("parse failed: %r", exc)
+        return None
+
+
+def broad_reraise(payload):
+    try:
+        return int(payload)
+    except Exception as exc:
+        raise RuntimeError("parse failed") from exc

@@ -1,0 +1,21 @@
+"""Fixture: sim code on the global RNG — must fire SIM-DET."""
+
+import os
+import random
+from random import randint
+
+
+def pick_latency():
+    return random.random() * 0.2
+
+
+def pick_port():
+    return randint(1024, 65535)
+
+
+def make_node_id():
+    return os.urandom(64)
+
+
+def seed_everything():
+    random.seed(1234)

@@ -1,0 +1,15 @@
+"""Fixture: sim code reading the wall clock — every call must fire SIM-DET."""
+
+import time
+from datetime import datetime
+from time import monotonic
+
+
+def sample_churn_window():
+    started = time.time()
+    tick = monotonic()
+    return started, tick
+
+
+def stamp_release():
+    return datetime.now()

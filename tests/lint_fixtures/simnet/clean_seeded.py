@@ -1,0 +1,20 @@
+"""Fixture: deterministic sim code — must NOT fire any rule.
+
+The RNG is an explicitly-constructed ``random.Random`` threaded through,
+and time comes from an injected clock value.
+"""
+
+import random
+
+
+def build_world(seed: int):
+    rng = random.Random(seed)
+    return [rng.random() for _ in range(4)]
+
+
+def pick_latency(rng: random.Random) -> float:
+    return rng.uniform(0.01, 0.2)
+
+
+def sample_churn_window(now: float) -> float:
+    return now + 3600.0

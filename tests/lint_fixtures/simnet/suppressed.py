@@ -1,0 +1,20 @@
+"""Fixture: suppression-comment behaviour for SIM-DET.
+
+Two violations are suppressed (trailing comment, guard-comment line);
+the third carries a disable for the WRONG code and must still fire.
+"""
+
+import time
+
+
+def suppressed_inline():
+    return time.time()  # reprolint: disable=SIM-DET
+
+
+def suppressed_by_guard_line():
+    # reprolint: disable=SIM-DET
+    return time.time()
+
+
+def still_fires():
+    return time.time()  # reprolint: disable=EXC-SILENT

@@ -1,0 +1,230 @@
+"""reprolint: the tier-1 gate plus rule-by-rule fixture coverage.
+
+``test_src_tree_is_clean`` is the enforcement point: any PR that
+reintroduces nondeterminism in sim code, a blocking call or swallowed
+cancellation in the crawler, a silent except, or str/bytes mixing in the
+wire layers fails tier-1.
+"""
+
+import json
+import os
+import shutil
+import subprocess
+import sys
+from collections import Counter
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.devtools import all_rules, lint_paths
+from repro.devtools.lint import main
+from repro.devtools.runner import PARSE_ERROR, iter_python_files
+
+SRC = Path(repro.__file__).resolve().parents[1]
+FIXTURES = Path(__file__).resolve().parent / "lint_fixtures"
+
+RULE_CODES = {"SIM-DET", "ASYNC-BLOCK", "ASYNC-CANCEL", "EXC-SILENT", "CRYPTO-BYTES"}
+
+
+# -- the gate ---------------------------------------------------------------
+
+
+def test_src_tree_is_clean():
+    findings = lint_paths([SRC])
+    assert findings == [], "\n".join(f.format_text() for f in findings)
+
+
+def test_registry_has_all_families():
+    assert {rule.code for rule in all_rules()} == RULE_CODES
+
+
+# -- firing fixtures --------------------------------------------------------
+
+FIRING = {
+    "simnet/bad_wallclock.py": {"SIM-DET": 3},
+    "simnet/bad_random.py": {"SIM-DET": 4},
+    "chain/bad_datetime.py": {"SIM-DET": 2},
+    "async_block/bad_blocking.py": {"ASYNC-BLOCK": 3},
+    "async_cancel/bad_swallow.py": {"ASYNC-CANCEL": 3},
+    "exc_silent/bad_silent.py": {"EXC-SILENT": 2},
+    "crypto/bad_mixing.py": {"CRYPTO-BYTES": 4},
+}
+
+CLEAN = [
+    "simnet/clean_seeded.py",
+    "async_block/clean_async.py",
+    "async_cancel/clean_reraise.py",
+    "exc_silent/clean_narrow.py",
+    "crypto/clean_bytes.py",
+]
+
+
+@pytest.mark.parametrize("relative", sorted(FIRING))
+def test_fixture_fires(relative):
+    findings = lint_paths([FIXTURES / relative])
+    got = Counter(finding.code for finding in findings)
+    assert dict(got) == FIRING[relative], "\n".join(
+        f.format_text() for f in findings
+    )
+
+
+@pytest.mark.parametrize("relative", CLEAN)
+def test_clean_fixture_stays_clean(relative):
+    findings = lint_paths([FIXTURES / relative])
+    assert findings == [], "\n".join(f.format_text() for f in findings)
+
+
+# -- suppression comments ---------------------------------------------------
+
+
+def test_suppression_comments():
+    findings = lint_paths([FIXTURES / "simnet" / "suppressed.py"])
+    # two of the three violations are suppressed; the third carries a
+    # disable for a different family and must still fire
+    assert len(findings) == 1
+    assert findings[0].code == "SIM-DET"
+    source_lines = (FIXTURES / "simnet" / "suppressed.py").read_text().splitlines()
+    assert "still_fires" in source_lines[findings[0].line - 2]
+
+
+def test_disable_file_comment(tmp_path):
+    bad = (FIXTURES / "simnet" / "bad_wallclock.py").read_text()
+    target = tmp_path / "simnet" / "wallclock.py"
+    target.parent.mkdir()
+    target.write_text("# reprolint: disable-file=SIM-DET\n" + bad)
+    assert lint_paths([target]) == []
+
+
+def test_disable_all_suppresses_every_family(tmp_path):
+    target = tmp_path / "simnet" / "module.py"
+    target.parent.mkdir()
+    target.write_text(
+        "import time\n\n\ndef f():\n"
+        "    return time.time()  # reprolint: disable=all\n"
+    )
+    assert lint_paths([target]) == []
+
+
+# -- scoping ----------------------------------------------------------------
+
+
+def test_scoped_rule_ignores_other_packages(tmp_path):
+    # the same nondeterministic source outside simnet/chain is not SIM-DET's
+    # business (the analysis layer may legitimately read the clock)
+    bad = (FIXTURES / "simnet" / "bad_wallclock.py").read_text()
+    target = tmp_path / "analysis" / "wallclock.py"
+    target.parent.mkdir()
+    target.write_text(bad)
+    assert lint_paths([target]) == []
+
+
+def test_crypto_rule_applies_to_rlpx_paths(tmp_path):
+    bad = (FIXTURES / "crypto" / "bad_mixing.py").read_text()
+    target = tmp_path / "rlpx" / "mixing.py"
+    target.parent.mkdir()
+    target.write_text(bad)
+    codes = {finding.code for finding in lint_paths([target])}
+    assert codes == {"CRYPTO-BYTES"}
+
+
+# -- select/ignore ----------------------------------------------------------
+
+
+def test_select_and_ignore():
+    path = FIXTURES / "exc_silent" / "bad_silent.py"
+    assert lint_paths([path], select=["SIM-DET"]) == []
+    assert lint_paths([path], ignore=["EXC-SILENT"]) == []
+    assert len(lint_paths([path], select=["EXC-SILENT"])) == 2
+
+
+# -- parse errors -----------------------------------------------------------
+
+
+def test_syntax_error_is_reported_not_crashed(tmp_path):
+    target = tmp_path / "broken.py"
+    target.write_text("def f(:\n")
+    findings = lint_paths([target])
+    assert len(findings) == 1 and findings[0].code == PARSE_ERROR
+
+
+# -- CLI --------------------------------------------------------------------
+
+
+def test_cli_clean_exit_zero(capsys):
+    rc = main([str(FIXTURES / "simnet" / "clean_seeded.py")])
+    assert rc == 0
+    assert "clean" in capsys.readouterr().err
+
+
+def test_cli_text_output_and_exit_one(capsys):
+    rc = main([str(FIXTURES / "exc_silent" / "bad_silent.py")])
+    out = capsys.readouterr().out
+    assert rc == 1
+    assert "EXC-SILENT" in out and "bad_silent.py" in out
+    # file:line:col prefix on every finding line
+    for line in out.strip().splitlines():
+        prefix = line.split(" ")[0]
+        assert prefix.count(":") == 3
+
+
+def test_cli_json_output(capsys):
+    rc = main([str(FIXTURES / "crypto" / "bad_mixing.py"), "--format", "json"])
+    assert rc == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["checked_files"] == 1
+    assert payload["counts"] == {"CRYPTO-BYTES": 4}
+    for finding in payload["findings"]:
+        assert {"path", "line", "col", "code", "message"} <= set(finding)
+
+
+def test_cli_list_rules(capsys):
+    rc = main(["--list-rules"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    for code in RULE_CODES:
+        assert code in out
+
+
+def test_cli_nonexistent_path_is_usage_error(capsys):
+    rc = main(["no/such/dir"])
+    assert rc == 2
+    assert "no python files found" in capsys.readouterr().err
+
+
+def test_cli_unknown_code_is_usage_error():
+    with pytest.raises(SystemExit) as excinfo:
+        main([str(FIXTURES), "--select", "NO-SUCH-RULE"])
+    assert excinfo.value.code == 2
+
+
+def test_cli_module_entrypoint(tmp_path):
+    """`python -m repro.devtools.lint` works as documented in the README."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(SRC) + os.pathsep + env.get("PYTHONPATH", "")
+    result = subprocess.run(
+        [
+            sys.executable,
+            "-m",
+            "repro.devtools.lint",
+            str(FIXTURES / "simnet" / "bad_random.py"),
+            "--format",
+            "json",
+        ],
+        capture_output=True,
+        text=True,
+        env=env,
+    )
+    assert result.returncode == 1
+    assert json.loads(result.stdout)["counts"] == {"SIM-DET": 4}
+
+
+# -- file discovery ---------------------------------------------------------
+
+
+def test_iter_python_files_skips_pycache(tmp_path):
+    (tmp_path / "__pycache__").mkdir()
+    (tmp_path / "__pycache__" / "cached.py").write_text("x = 1\n")
+    (tmp_path / "real.py").write_text("x = 1\n")
+    files = iter_python_files([tmp_path])
+    assert [path.name for path in files] == ["real.py"]

@@ -6,6 +6,7 @@ import pytest
 
 from repro.fullnode import start_localhost_network
 from repro.nodefinder.live import LiveConfig, LiveNodeFinder
+from repro.simnet.node import DialOutcome, DialResult
 
 
 def test_live_crawl_discovers_and_harvests():
@@ -62,3 +63,33 @@ def test_live_crawl_handles_dead_bootstrap():
             await nodes[0].stop()
 
     asyncio.run(scenario())
+
+
+def test_stale_addresses_pruned_with_injected_clock():
+    """The 24h stale-address rule is testable without sleeping: the finder's
+    clock is injected, so advancing fake time expires a StaticNodes entry."""
+    fake_now = [0.0]
+    finder = LiveNodeFinder(
+        config=LiveConfig(stale_address_age=24 * 3600.0),
+        clock=lambda: fake_now[0],
+    )
+    node_id = b"\x42" * 64
+    finder.db.observe(
+        DialResult(
+            timestamp=fake_now[0],
+            node_id=node_id,
+            ip="127.0.0.1",
+            tcp_port=30303,
+            connection_type="dynamic-dial",
+            outcome=DialOutcome.FULL_HARVEST,
+        )
+    )
+    finder.static_nodes[node_id] = (None, fake_now[0] + 1800.0)
+
+    fake_now[0] = 23 * 3600.0  # not yet stale
+    finder._prune_stale()
+    assert node_id in finder.static_nodes
+
+    fake_now[0] = 25 * 3600.0  # a successful dial 25h ago: stale, drop it
+    finder._prune_stale()
+    assert node_id not in finder.static_nodes
