@@ -20,11 +20,18 @@ Families
     In the wire-format layers (``repro.crypto``/``repro.rlp``/
     ``repro.rlpx``): no str/bytes comparisons, no ``str`` defaults on
     ``bytes`` parameters, no ``+`` mixing str- and bytes-typed values.
+``RETRY-SAFE``
+    In the live crawler layers (``repro.nodefinder``/``repro.rlpx``):
+    never await a network primitive directly — every read/write/connect
+    runs under ``asyncio.wait_for``, ``asyncio.timeout``, or a
+    RetryPolicy/StageBudgets deadline, so one silent peer cannot park a
+    dial slot forever.
 """
 
 from repro.devtools.rules import (  # noqa: F401
     async_rules,
     crypto_bytes,
     exc_silent,
+    retry_safe,
     sim_det,
 )

@@ -40,6 +40,7 @@ from repro.discovery.packets import (
 )
 from repro.discovery.routing import ALPHA, K_NEIGHBORS, RoutingTable
 from repro.errors import BadPacket, DiscoveryError
+from repro.resilience.retry import RetryPolicy
 
 logger = logging.getLogger(__name__)
 
@@ -64,6 +65,7 @@ class DiscoveryService(asyncio.DatagramProtocol):
         bootstrap_nodes: Iterable[ENode] = (),
         bucket_size: int = 16,
         reply_timeout: float = REPLY_TIMEOUT,
+        retry_policy: Optional[RetryPolicy] = None,
     ) -> None:
         self.private_key = private_key
         self.node_id = private_key.public_key.to_bytes()
@@ -76,6 +78,9 @@ class DiscoveryService(asyncio.DatagramProtocol):
         self.bootstrap_nodes = list(bootstrap_nodes)
         self.table = RoutingTable.for_node_id(self.node_id, bucket_size=bucket_size)
         self.reply_timeout = reply_timeout
+        #: retries PING during bonding — one lost datagram should not cost
+        #: a whole bond (UDP gives no delivery guarantee); None = one shot
+        self.retry_policy = retry_policy
         self._transport: Optional[asyncio.DatagramTransport] = None
         self._bonds: dict[bytes, float] = {}
         self._pending_pongs: dict[tuple[str, int], list[asyncio.Future]] = {}
@@ -259,11 +264,24 @@ class DiscoveryService(asyncio.DatagramProtocol):
         """PING ``node``; True if it answered in time."""
         return await self.ping_addr(node.udp_address) is not None
 
-    async def bond(self, node: ENode) -> bool:
-        """Establish an endpoint proof with ``node`` (PING until PONG)."""
+    async def bond(
+        self, node: ENode, retry: Optional[RetryPolicy] = None
+    ) -> bool:
+        """Establish an endpoint proof with ``node`` (PING until PONG).
+
+        UDP drops datagrams; under a :class:`RetryPolicy` (the argument,
+        falling back to the service-wide ``retry_policy``) a missed PONG is
+        re-PINGed with backoff instead of failing the bond outright.
+        """
         if self.is_bonded(node.node_id):
             return True
-        return await self.ping(node)
+        policy = retry if retry is not None else self.retry_policy
+        if policy is None:
+            return await self.ping(node)
+        return await policy.run(
+            lambda attempt: self.ping(node),
+            should_retry=lambda answered: not answered,
+        )
 
     async def find_node(self, node: ENode, target: bytes) -> list[NeighborRecord]:
         """Send FIND_NODE to ``node``; returns its NEIGHBORS (possibly empty)."""
@@ -310,9 +328,21 @@ class DiscoveryService(asyncio.DatagramProtocol):
             )[:ALPHA]
             if not candidates:
                 break
+            # exception-safe fan-out: one peer's crash (malformed datagram,
+            # socket teardown mid-query) must not cancel the other queries
+            # or abort the whole lookup
             answers = await asyncio.gather(
-                *(self.find_node(node, target) for node in candidates)
+                *(self.find_node(node, target) for node in candidates),
+                return_exceptions=True,
             )
+            for node, answer in zip(candidates, answers):
+                if isinstance(answer, asyncio.CancelledError):
+                    raise answer
+                if isinstance(answer, BaseException):
+                    logger.warning(
+                        "find_node to %s failed: %r", node.short_id(), answer
+                    )
+            answers = [a if isinstance(a, list) else [] for a in answers]
             for node in candidates:
                 queried.add(node.node_id)
             progressed = False

@@ -55,7 +55,21 @@ class BadPacket(DiscoveryError):
 
 
 class HandshakeError(ReproError):
-    """The RLPx auth/ack handshake failed."""
+    """The RLPx auth/ack handshake failed.
+
+    ``stage`` (``"connect"`` or ``"rlpx"``) says where the dial died and
+    ``kind`` classifies how (``"refused"``, ``"timeout"``, ``"reset"``,
+    ``"truncated"``, ``"unreachable"``, ``"protocol"``) so the crawler's
+    failure accounting can tell a refused connection from a reset from a
+    stall — outcomes the paper's single flat timeout conflated.
+    """
+
+    def __init__(
+        self, message: object = "", stage: str = "rlpx", kind: str = "protocol"
+    ) -> None:
+        super().__init__(message)
+        self.stage = stage
+        self.kind = kind
 
 
 class FramingError(ReproError):

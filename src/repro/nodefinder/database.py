@@ -122,7 +122,8 @@ class NodeDB:
         entry.ips.add(result.ip)
         entry.tcp_port = result.tcp_port
         entry.connection_types.add(result.connection_type)
-        if result.outcome is not DialOutcome.TIMEOUT:
+        # a refused connection is not a live observation: nothing answered
+        if result.outcome.connected:
             entry.last_success = max(entry.last_success, result.timestamp)
             entry.last_seen = max(entry.last_seen, result.timestamp)
             if result.connection_type in ("dynamic-dial", "static-dial"):

@@ -6,6 +6,12 @@ joins the StaticNodes list and is re-dialed on a fixed interval; stale
 addresses fall off after 24 hours; all results land in the same
 :class:`~repro.nodefinder.database.NodeDB` the analyses consume.
 
+The crawler is supervised for month-long runs: each loop restarts under a
+backoff policy if it crashes (crash/restart counts land in ``stats``),
+repeatedly-failing enodes are backed off behind a per-peer circuit
+breaker, and transient dial failures can be retried in place under a
+deterministic :class:`~repro.resilience.RetryPolicy`.
+
 Intervals are parameters (the paper's values are 4s lookups and 30-minute
 re-dials); tests and examples shrink them to seconds so a localhost crawl
 exercises every loop in a few wall-clock seconds.
@@ -15,8 +21,9 @@ from __future__ import annotations
 
 import asyncio
 import logging
+import random
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable, Optional
 
 from repro.crypto.keys import PrivateKey
@@ -24,7 +31,7 @@ from repro.discovery.enode import ENode
 from repro.discovery.protocol import DiscoveryService
 from repro.nodefinder.database import NodeDB
 from repro.nodefinder.wire import harvest
-from repro.simnet.node import DialOutcome
+from repro.resilience import LoopSupervisor, PeerScoreboard, RetryPolicy
 
 logger = logging.getLogger(__name__)
 
@@ -38,6 +45,16 @@ class LiveConfig:
     stale_address_age: float = 24 * 3600.0
     max_active_dials: int = 16   # Geth's maxActiveDialTasks
     dial_timeout: float = 5.0
+    #: in-place retry for transport-level dial failures; None disables
+    retry: Optional[RetryPolicy] = field(
+        default_factory=lambda: RetryPolicy(max_attempts=2, base_delay=0.2)
+    )
+    #: consecutive transport failures before an enode's breaker opens
+    breaker_threshold: int = 3
+    #: seconds an open breaker skips dials before admitting a probe
+    breaker_cooldown: float = 300.0
+    #: restart budget for crashed crawler loops; None → package default
+    supervisor_policy: Optional[RetryPolicy] = None
 
 
 class LiveNodeFinder:
@@ -49,24 +66,41 @@ class LiveNodeFinder:
         config: LiveConfig | None = None,
         host: str = "127.0.0.1",
         clock: Callable[[], float] | None = None,
+        rng: Optional[random.Random] = None,
     ) -> None:
         self.private_key = private_key or PrivateKey.generate()
         self.config = config or LiveConfig()
         self.host = host
         #: one injectable clock drives redial scheduling, record timestamps,
-        #: and stale-address pruning, so tests can advance time without
-        #: sleeping; monotonic by default (wall-clock jumps must not expire
-        #: or re-schedule dials)
+        #: stale-address pruning, and breaker cooldowns, so tests can advance
+        #: time without sleeping; monotonic by default (wall-clock jumps must
+        #: not expire or re-schedule dials)
         self.clock = clock if clock is not None else time.monotonic
+        #: draws retry jitter; injectable for reproducible backoff schedules
+        self.rng = rng
         self.db = NodeDB()
         self.discovery: Optional[DiscoveryService] = None
         #: node id -> (enode, next static dial time)
         self.static_nodes: dict[bytes, tuple[ENode, float]] = {}
+        self.breakers = PeerScoreboard(
+            failure_threshold=self.config.breaker_threshold,
+            cooldown=self.config.breaker_cooldown,
+            clock=self.clock,
+        )
+        self._supervisors: list[LoopSupervisor] = []
         self._tasks: list[asyncio.Task] = []
         self._stopping = False
         self._dial_semaphore = asyncio.Semaphore(self.config.max_active_dials)
         self._dialed_once: set[bytes] = set()
-        self.stats = {"lookups": 0, "dynamic_dials": 0, "static_dials": 0}
+        self.stats = {
+            "lookups": 0,
+            "dynamic_dials": 0,
+            "static_dials": 0,
+            "dial_failures": 0,
+            "breaker_skips": 0,
+            "loop_crashes": 0,
+            "loop_restarts": 0,
+        }
 
     async def start(self, bootstrap: list[ENode]) -> "LiveNodeFinder":
         self.discovery = DiscoveryService(
@@ -75,9 +109,24 @@ class LiveNodeFinder:
         await self.discovery.listen()
         for node in bootstrap:
             await self.discovery.bond(node)
-        self._tasks.append(asyncio.ensure_future(self._discovery_loop()))
-        self._tasks.append(asyncio.ensure_future(self._static_loop()))
+        for name, loop in (
+            ("discovery", self._discovery_loop),
+            ("static", self._static_loop),
+        ):
+            supervisor = LoopSupervisor(
+                name,
+                loop,
+                policy=self.config.supervisor_policy,
+                rng=self.rng,
+                on_crash=lambda exc: self._count("loop_crashes"),
+                on_restart=lambda: self._count("loop_restarts"),
+            )
+            self._supervisors.append(supervisor)
+            self._tasks.append(asyncio.ensure_future(supervisor.run()))
         return self
+
+    def _count(self, key: str) -> None:
+        self.stats[key] += 1
 
     async def stop(self) -> None:
         self._stopping = True
@@ -114,9 +163,22 @@ class LiveNodeFinder:
                 and node.node_id not in self._dialed_once
             ]
             if fresh:
-                await asyncio.gather(
-                    *(self._dial(node, "dynamic-dial") for node in fresh)
+                # exception-safe fan-out: one crashing dial must not cancel
+                # its siblings or kill the loop
+                outcomes = await asyncio.gather(
+                    *(self._dial(node, "dynamic-dial") for node in fresh),
+                    return_exceptions=True,
                 )
+                for node, outcome in zip(fresh, outcomes):
+                    if isinstance(outcome, asyncio.CancelledError):
+                        raise outcome
+                    if isinstance(outcome, BaseException):
+                        self.stats["dial_failures"] += 1
+                        logger.warning(
+                            "dynamic dial of %s crashed: %r",
+                            node.short_id(),
+                            outcome,
+                        )
             await asyncio.sleep(self.config.lookup_interval)
 
     async def _static_loop(self) -> None:
@@ -133,7 +195,15 @@ class LiveNodeFinder:
                     enode,
                     now + self.config.static_dial_interval,
                 )
-                await self._dial(enode, "static-dial")
+                try:
+                    await self._dial(enode, "static-dial")
+                except asyncio.CancelledError:
+                    raise
+                except Exception as exc:
+                    self.stats["dial_failures"] += 1
+                    logger.warning(
+                        "static dial of %s crashed: %r", enode.short_id(), exc
+                    )
             self._prune_stale()
             await asyncio.sleep(
                 min(1.0, self.config.static_dial_interval / 10)
@@ -144,10 +214,14 @@ class LiveNodeFinder:
         for entry in list(self.db):
             if 0 <= entry.last_success < horizon:
                 self.static_nodes.pop(entry.node_id, None)
+                self.breakers.forget(entry.node_id)
 
     # -- dialing ---------------------------------------------------------------
 
     async def _dial(self, target: ENode, connection_type: str) -> None:
+        if not self.breakers.allow(target.node_id):
+            self.stats["breaker_skips"] += 1
+            return
         async with self._dial_semaphore:
             self._dialed_once.add(target.node_id)
             result = await harvest(
@@ -156,16 +230,21 @@ class LiveNodeFinder:
                 connection_type=connection_type,
                 dial_timeout=self.config.dial_timeout,
                 clock=self.clock,
+                retry=self.config.retry,
+                retry_rng=self.rng,
             )
         key = "dynamic_dials" if connection_type == "dynamic-dial" else "static_dials"
         self.stats[key] += 1
         self.db.observe(result)
-        if result.outcome is not DialOutcome.TIMEOUT:
+        if result.outcome.completed:
+            self.breakers.record_success(target.node_id)
             # §4: completed dials join StaticNodes for 30-minute re-dials
             self.static_nodes.setdefault(
                 target.node_id,
                 (target, self.clock() + self.config.static_dial_interval),
             )
+        else:
+            self.breakers.record_failure(target.node_id)
 
     async def crawl_for(self, seconds: float) -> NodeDB:
         """Convenience: run the loops for a wall-clock duration."""

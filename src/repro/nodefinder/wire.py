@@ -6,13 +6,26 @@ block → DISCONNECT — at most three message exchanges, holding the peer slot
 for well under a second on a LAN.  ``crawl_targets`` drives a list of
 enodes and fills the same :class:`DialResult`/:class:`NodeDB` structures
 the simulator produces, so every analysis runs unchanged on live data.
+
+Robustness (the parts the paper's months-long deployment needed):
+
+* every stage (TCP connect, RLPx auth/ack, HELLO, STATUS, DAO check) runs
+  under its own :class:`~repro.resilience.StageBudgets` deadline;
+* failures are classified — ``DialResult.failure_stage`` says *where* a
+  dial died and ``failure_detail`` says *how* (refused vs. reset vs.
+  stalled vs. truncated vs. garbage), instead of one catch-all timeout;
+* transport-level failures can be retried under a deterministic
+  :class:`~repro.resilience.RetryPolicy`;
+* one crashing dial can never take down a ``crawl_targets`` batch.
 """
 
 from __future__ import annotations
 
 import asyncio
+import logging
+import random
 import time
-from typing import Callable, Iterable
+from typing import Callable, Iterable, Optional
 
 from repro.crypto.keys import PrivateKey, PublicKey
 from repro.devp2p.messages import Capability, DisconnectReason, HelloMessage
@@ -22,8 +35,24 @@ from repro.errors import HandshakeError, PeerDisconnected, ProtocolError, ReproE
 from repro.ethproto import messages as eth
 from repro.ethproto.handshake import harvest_dao_check, run_eth_handshake
 from repro.nodefinder.database import NodeDB
+from repro.resilience import (
+    PeerScoreboard,
+    RetryPolicy,
+    StageBudgets,
+    StageTimeout,
+    bounded,
+)
 from repro.rlpx.session import open_session
 from repro.simnet.node import DialOutcome, DialResult
+
+logger = logging.getLogger(__name__)
+
+#: outcomes worth a second attempt: the transport failed before the peer
+#: said anything, so a retry may still harvest (a completed-but-rejected
+#: dial — Too many peers, useless peer — is the peer's answer, not noise)
+RETRYABLE_OUTCOMES = frozenset(
+    {DialOutcome.TIMEOUT, DialOutcome.CONNECTION_REFUSED, DialOutcome.RLPX_FAILED}
+)
 
 
 def nodefinder_hello(key: PrivateKey, listen_port: int = 30303) -> HelloMessage:
@@ -43,10 +72,10 @@ def nodefinder_status(reference: eth.StatusMessage | None = None) -> eth.StatusM
     if reference is not None:
         return eth.StatusMessage(
             protocol_version=63,
-            network_id=1,
-            total_difficulty=0,
-            best_hash=eth.MAINNET_GENESIS_HASH,
-            genesis_hash=eth.MAINNET_GENESIS_HASH,
+            network_id=reference.network_id,
+            total_difficulty=reference.total_difficulty,
+            best_hash=reference.best_hash,
+            genesis_hash=reference.genesis_hash,
         )
     return eth.StatusMessage(
         protocol_version=63,
@@ -57,12 +86,36 @@ def nodefinder_status(reference: eth.StatusMessage | None = None) -> eth.StatusM
     )
 
 
+def _error_detail(exc: BaseException) -> str:
+    """Fine-grained failure classification for mid-session errors."""
+    if isinstance(exc, asyncio.IncompleteReadError):
+        return "truncated"
+    if isinstance(exc, asyncio.TimeoutError):
+        return "stalled"
+    if isinstance(exc, (ConnectionError, OSError)):
+        return "reset"
+    return "protocol"
+
+
+def _handshake_fields(exc: HandshakeError) -> tuple[DialOutcome, str, str]:
+    """Map a classified HandshakeError to (outcome, stage, detail)."""
+    detail = "stalled" if exc.kind == "timeout" else exc.kind
+    if exc.kind == "refused":
+        return DialOutcome.CONNECTION_REFUSED, exc.stage, detail
+    if exc.stage == "connect":
+        return DialOutcome.TIMEOUT, exc.stage, detail
+    return DialOutcome.RLPX_FAILED, exc.stage, detail
+
+
 async def harvest(
     target: ENode,
     key: PrivateKey,
     connection_type: str = "dynamic-dial",
     dial_timeout: float = 5.0,
     clock: Callable[[], float] | None = None,
+    budgets: StageBudgets | None = None,
+    retry: RetryPolicy | None = None,
+    retry_rng: Optional[random.Random] = None,
 ) -> DialResult:
     """Run the full §4 harvest against one live peer.
 
@@ -70,7 +123,40 @@ async def harvest(
     (``LiveNodeFinder``) pass their own so database timestamps share the
     scheduler's timeline.  Defaults to wall-clock epoch seconds, the
     paper's measurement-log convention.
+
+    ``budgets`` gives every stage its own deadline (defaults to the flat
+    ``dial_timeout`` per stage).  With ``retry``, transport failures
+    (refused / reset / stalled — never a peer's actual answer) are
+    re-attempted under the policy; the returned result carries the total
+    ``attempts`` count and always reflects the final attempt.
     """
+    stage_budgets = budgets if budgets is not None else StageBudgets.flat(dial_timeout)
+    if retry is None:
+        return await _harvest_once(
+            target, key, connection_type, stage_budgets, clock
+        )
+
+    async def attempt(number: int) -> DialResult:
+        result = await _harvest_once(
+            target, key, connection_type, stage_budgets, clock
+        )
+        result.attempts = number
+        return result
+
+    return await retry.run(
+        attempt,
+        should_retry=lambda result: result.outcome in RETRYABLE_OUTCOMES,
+        rng=retry_rng,
+    )
+
+
+async def _harvest_once(
+    target: ENode,
+    key: PrivateKey,
+    connection_type: str,
+    budgets: StageBudgets,
+    clock: Callable[[], float] | None,
+) -> DialResult:
     started = time.monotonic()
     now = clock if clock is not None else time.time
     base = dict(
@@ -86,18 +172,23 @@ async def harvest(
             target.tcp_port,
             key,
             PublicKey.from_bytes(target.node_id),
-            dial_timeout=dial_timeout,
+            dial_timeout=budgets.connect,
+            handshake_timeout=budgets.rlpx,
         )
-    except HandshakeError:
+    except HandshakeError as exc:
+        outcome, stage, detail = _handshake_fields(exc)
         return DialResult(
-            outcome=DialOutcome.TIMEOUT,
+            outcome=outcome,
+            failure_stage=stage,
+            failure_detail=detail,
             duration=time.monotonic() - started,
             **base,
         )
     peer = DevP2PPeer(session, nodefinder_hello(key))
     hello_fields: dict = {}
+    stage = "hello"
     try:
-        remote_hello = await peer.handshake()
+        remote_hello = await bounded(peer.handshake(), budgets.hello, "hello")
         hello_fields = dict(
             client_id=remote_hello.client_id,
             capabilities=[tuple(cap) for cap in remote_hello.capabilities],
@@ -114,11 +205,17 @@ async def harvest(
                 **base,
                 **hello_fields,
             )
-        info = await run_eth_handshake(peer, nodefinder_status())
+        stage = "status"
+        info = await bounded(
+            run_eth_handshake(peer, nodefinder_status()), budgets.status, "status"
+        )
         status = info.remote_status
         dao_side = None
         if status.genesis_hash == eth.MAINNET_GENESIS_HASH:
-            side, header = await harvest_dao_check(peer)
+            stage = "dao"
+            side, header = await bounded(
+                harvest_dao_check(peer), budgets.dao, "dao"
+            )
             dao_side = {"supports": "supports", "opposes": "opposes"}.get(
                 side.value, "empty"
             )
@@ -149,10 +246,26 @@ async def harvest(
             **base,
             **hello_fields,
         )
-    except (ProtocolError, ReproError, ConnectionError, OSError, asyncio.TimeoutError):
+    except StageTimeout as exc:
         peer.abort()
         return DialResult(
-            outcome=DialOutcome.HELLO_NO_STATUS if hello_fields else DialOutcome.RLPX_FAILED,
+            outcome=(
+                DialOutcome.HELLO_NO_STATUS if hello_fields else DialOutcome.RLPX_FAILED
+            ),
+            failure_stage=exc.stage,
+            failure_detail="stalled",
+            duration=time.monotonic() - started,
+            **base,
+            **hello_fields,
+        )
+    except (ProtocolError, ReproError, ConnectionError, OSError, asyncio.TimeoutError) as exc:
+        peer.abort()
+        return DialResult(
+            outcome=(
+                DialOutcome.HELLO_NO_STATUS if hello_fields else DialOutcome.RLPX_FAILED
+            ),
+            failure_stage=stage,
+            failure_detail=_error_detail(exc),
             duration=time.monotonic() - started,
             **base,
             **hello_fields,
@@ -165,16 +278,48 @@ async def crawl_targets(
     targets: Iterable[ENode],
     key: PrivateKey | None = None,
     concurrency: int = 16,
+    dial_timeout: float = 5.0,
+    budgets: StageBudgets | None = None,
+    retry: RetryPolicy | None = None,
+    breaker: PeerScoreboard | None = None,
 ) -> NodeDB:
-    """Harvest many live targets concurrently (maxActiveDialTasks=16, §4)."""
+    """Harvest many live targets concurrently (maxActiveDialTasks=16, §4).
+
+    The fan-out is exception-safe: a dial that raises is logged and
+    dropped, never cancelling its siblings.  An optional ``breaker``
+    scoreboard skips peers whose circuit is open and feeds outcomes back.
+    """
     key = key or PrivateKey.generate()
     db = NodeDB()
     semaphore = asyncio.Semaphore(concurrency)
 
     async def one(target: ENode) -> None:
+        if breaker is not None and not breaker.allow(target.node_id):
+            return
         async with semaphore:
-            result = await harvest(target, key)
-            db.observe(result)
+            result = await harvest(
+                target,
+                key,
+                dial_timeout=dial_timeout,
+                budgets=budgets,
+                retry=retry,
+            )
+        if breaker is not None:
+            if result.outcome.completed:
+                breaker.record_success(target.node_id)
+            else:
+                breaker.record_failure(target.node_id)
+        db.observe(result)
 
-    await asyncio.gather(*(one(target) for target in targets))
+    target_list = list(targets)
+    results = await asyncio.gather(
+        *(one(target) for target in target_list), return_exceptions=True
+    )
+    for target, outcome in zip(target_list, results):
+        if isinstance(outcome, asyncio.CancelledError):
+            raise outcome
+        if isinstance(outcome, BaseException):
+            logger.warning(
+                "dial of %s crashed: %r", target.short_id(), outcome
+            )
     return db

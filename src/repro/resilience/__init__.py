@@ -1,0 +1,39 @@
+"""Resilience primitives for the live NodeFinder stack.
+
+The paper's crawler ran for months against the open Internet; this
+package holds everything that lets the reproduction degrade gracefully
+the same way: deterministic retry/backoff (:class:`RetryPolicy`),
+per-stage harvest deadlines (:class:`StageBudgets`), per-peer circuit
+breakers (:class:`CircuitBreaker` / :class:`PeerScoreboard`), crash
+supervision for crawler loops (:class:`LoopSupervisor`), and the chaos
+fault-injection layer (:class:`ChaosProxy`, :class:`ChaosStreamReader`)
+the test suite uses to prove each failure mode maps to a deterministic
+:class:`~repro.simnet.node.DialOutcome`.
+"""
+
+from repro.resilience.breaker import BreakerState, CircuitBreaker, PeerScoreboard
+from repro.resilience.chaos import (
+    ChaosConfig,
+    ChaosProxy,
+    ChaosStreamReader,
+    FaultType,
+)
+from repro.resilience.deadline import StageBudgets, StageTimeout, bounded
+from repro.resilience.retry import RetryPolicy
+from repro.resilience.supervisor import DEFAULT_SUPERVISOR_POLICY, LoopSupervisor
+
+__all__ = [
+    "BreakerState",
+    "ChaosConfig",
+    "ChaosProxy",
+    "ChaosStreamReader",
+    "CircuitBreaker",
+    "DEFAULT_SUPERVISOR_POLICY",
+    "FaultType",
+    "LoopSupervisor",
+    "PeerScoreboard",
+    "RetryPolicy",
+    "StageBudgets",
+    "StageTimeout",
+    "bounded",
+]

@@ -1,0 +1,142 @@
+"""Per-peer failure scoring: circuit breakers over the dial schedule.
+
+The discovery fabric keeps re-surfacing the same enodes, and the static
+list re-dials every entry each cycle; without damping, a dead or
+adversarial peer is hammered on every pass — the paper's deployment ran
+against a network where Henningsen et al. later showed actively hostile
+peers exist.  A :class:`CircuitBreaker` per enode moves through the
+classic three states: CLOSED (dial freely) → OPEN after
+``failure_threshold`` consecutive transport failures (dials are skipped)
+→ HALF_OPEN once ``cooldown`` seconds pass (exactly one probe dial is
+admitted; success closes the breaker, failure re-opens it and restarts
+the cooldown).  The clock is injectable so every transition is testable
+without sleeping.
+"""
+
+from __future__ import annotations
+
+import enum
+import time
+from typing import Callable, Dict, Optional
+
+
+class BreakerState(enum.Enum):
+    """Where one peer's breaker currently sits."""
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half-open"
+
+
+class CircuitBreaker:
+    """Failure scoring for a single peer."""
+
+    def __init__(
+        self,
+        failure_threshold: int = 3,
+        cooldown: float = 300.0,
+        clock: Optional[Callable[[], float]] = None,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        if cooldown < 0:
+            raise ValueError("cooldown must be >= 0")
+        self.failure_threshold = failure_threshold
+        self.cooldown = cooldown
+        self._clock = clock if clock is not None else time.monotonic
+        self.failures = 0
+        self._opened_at: Optional[float] = None
+        self._probing = False
+
+    @property
+    def state(self) -> BreakerState:
+        if self._opened_at is None:
+            return BreakerState.CLOSED
+        if self._clock() - self._opened_at >= self.cooldown:
+            return BreakerState.HALF_OPEN
+        return BreakerState.OPEN
+
+    def allow(self) -> bool:
+        """May the caller dial this peer right now?
+
+        In HALF_OPEN exactly one probe is admitted until it reports back
+        via :meth:`record_success` / :meth:`record_failure`.
+        """
+        state = self.state
+        if state is BreakerState.CLOSED:
+            return True
+        if state is BreakerState.OPEN:
+            return False
+        if self._probing:
+            return False
+        self._probing = True
+        return True
+
+    def record_success(self) -> None:
+        self.failures = 0
+        self._opened_at = None
+        self._probing = False
+
+    def record_failure(self) -> None:
+        self._probing = False
+        if self._opened_at is not None:
+            # failed probe (or failure racing the open window): the peer is
+            # still down — restart the cooldown from now
+            self._opened_at = self._clock()
+            return
+        self.failures += 1
+        if self.failures >= self.failure_threshold:
+            self._opened_at = self._clock()
+
+
+class PeerScoreboard:
+    """Circuit breakers keyed by node ID, lazily created."""
+
+    def __init__(
+        self,
+        failure_threshold: int = 3,
+        cooldown: float = 300.0,
+        clock: Optional[Callable[[], float]] = None,
+    ) -> None:
+        self.failure_threshold = failure_threshold
+        self.cooldown = cooldown
+        self._clock = clock
+        self._breakers: Dict[bytes, CircuitBreaker] = {}
+
+    def breaker(self, node_id: bytes) -> CircuitBreaker:
+        existing = self._breakers.get(node_id)
+        if existing is None:
+            existing = CircuitBreaker(
+                failure_threshold=self.failure_threshold,
+                cooldown=self.cooldown,
+                clock=self._clock,
+            )
+            self._breakers[node_id] = existing
+        return existing
+
+    def allow(self, node_id: bytes) -> bool:
+        return self.breaker(node_id).allow()
+
+    def record_success(self, node_id: bytes) -> None:
+        self.breaker(node_id).record_success()
+
+    def record_failure(self, node_id: bytes) -> None:
+        self.breaker(node_id).record_failure()
+
+    def state(self, node_id: bytes) -> BreakerState:
+        existing = self._breakers.get(node_id)
+        return existing.state if existing is not None else BreakerState.CLOSED
+
+    @property
+    def open_count(self) -> int:
+        """Peers currently backed off (OPEN), for stats surfacing."""
+        return sum(
+            1 for b in self._breakers.values() if b.state is BreakerState.OPEN
+        )
+
+    def forget(self, node_id: bytes) -> None:
+        """Drop a peer's breaker (e.g. when its address is pruned)."""
+        self._breakers.pop(node_id, None)
+
+    def __len__(self) -> int:
+        return len(self._breakers)

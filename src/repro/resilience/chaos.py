@@ -1,0 +1,276 @@
+"""Fault injection for the live stack: a chaos TCP proxy and stream wrappers.
+
+The open Internet the paper crawled injects faults continuously — peers
+reset mid-handshake, stall inside STATUS, feed garbage frames.  This
+module reproduces those faults *deterministically* so tests can assert
+the exact :class:`~repro.simnet.node.DialOutcome` each one maps to:
+
+* :class:`ChaosProxy` — a localhost TCP proxy between the crawler and a
+  real node.  Client→upstream bytes pass verbatim; upstream→client bytes
+  go through one configured :class:`FaultType`.  ``fail_first`` limits
+  the fault to the first N connections so retry paths can be exercised
+  (fail, fail, then succeed).
+* :class:`ChaosStreamReader` — a duck-typed ``asyncio.StreamReader``
+  wrapper injecting read-side faults, pluggable into
+  :class:`~repro.fullnode.FullNode` so inbound sessions on a localhost
+  simnet misbehave without any proxy.
+
+Fault → outcome mapping (asserted by ``tests/test_chaos_harvest.py``):
+
+========== ==========================================================
+LATENCY    harvest still completes (``FULL_HARVEST``), just slower
+TRUNCATE   EOF mid-message → ``RLPX_FAILED`` / detail ``truncated``
+GARBAGE    undecryptable bytes → ``RLPX_FAILED`` / detail ``protocol``
+RESET      TCP RST mid-handshake → ``RLPX_FAILED`` / detail ``reset``
+STALL      silence under a deadline → ``RLPX_FAILED`` / detail ``stalled``
+========== ==========================================================
+"""
+
+from __future__ import annotations
+
+import asyncio
+import enum
+import logging
+import socket
+import struct
+from dataclasses import dataclass
+from typing import Optional, Set
+
+logger = logging.getLogger(__name__)
+
+_CHUNK = 65536
+
+
+def _hard_reset(writer: asyncio.StreamWriter) -> None:
+    """Close sending a TCP RST, not a FIN.
+
+    ``transport.abort()`` alone lets the kernel send a normal FIN when the
+    buffers are empty; SO_LINGER with a zero timeout forces the RST the
+    RESET fault promises, so the victim sees ``ConnectionResetError``
+    rather than a clean EOF.
+    """
+    sock = writer.get_extra_info("socket")
+    if sock is not None:
+        try:
+            sock.setsockopt(
+                socket.SOL_SOCKET, socket.SO_LINGER, struct.pack("ii", 1, 0)
+            )
+        except OSError:
+            pass
+    transport = writer.transport
+    if transport is not None:
+        transport.abort()
+
+
+class FaultType(enum.Enum):
+    """What the chaos layer does to the byte stream."""
+
+    LATENCY = "latency"    # delay every chunk, deliver intact
+    TRUNCATE = "truncate"  # forward ``after_bytes`` then close cleanly (FIN)
+    GARBAGE = "garbage"    # substitute undecryptable bytes, then close
+    RESET = "reset"        # hard TCP reset (RST) at the fault point
+    STALL = "stall"        # deliver nothing past the fault point, stay open
+
+
+@dataclass(frozen=True)
+class ChaosConfig:
+    """One fault, fully parameterised — no ambient randomness anywhere."""
+
+    fault: FaultType
+    #: injected delay per delivered chunk (LATENCY)
+    latency: float = 0.02
+    #: clean bytes delivered before the fault fires (TRUNCATE/GARBAGE/RESET/STALL)
+    after_bytes: int = 0
+    #: bytes substituted by GARBAGE; None uses a deterministic RLPx-shaped
+    #: junk message (valid 2-byte size prefix, undecryptable body)
+    garbage: Optional[bytes] = None
+    #: fault only the first N connections, then behave cleanly (0 = always);
+    #: lets tests drive "fails twice, succeeds on the third retry"
+    fail_first: int = 0
+
+    def garbage_bytes(self) -> bytes:
+        if self.garbage is not None:
+            return self.garbage
+        body = bytes((index * 37 + 11) % 251 for index in range(194))
+        return len(body).to_bytes(2, "big") + body
+
+
+class ChaosProxy:
+    """A localhost TCP proxy injecting one fault into server→client bytes."""
+
+    def __init__(
+        self, upstream_host: str, upstream_port: int, config: ChaosConfig
+    ) -> None:
+        self.upstream_host = upstream_host
+        self.upstream_port = upstream_port
+        self.config = config
+        self.host = "127.0.0.1"
+        self.port = 0
+        self.connections = 0
+        self.faults_injected = 0
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._tasks: Set[asyncio.Task] = set()
+
+    async def start(self) -> "ChaosProxy":
+        self._server = await asyncio.start_server(self._handle, self.host, 0)
+        self.port = self._server.sockets[0].getsockname()[1]
+        return self
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        for task in list(self._tasks):
+            task.cancel()
+        if self._tasks:
+            await asyncio.gather(*self._tasks, return_exceptions=True)
+        self._tasks.clear()
+
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self.connections += 1
+        faulted = (
+            self.config.fail_first == 0
+            or self.connections <= self.config.fail_first
+        )
+        try:
+            up_reader, up_writer = await asyncio.open_connection(
+                self.upstream_host, self.upstream_port
+            )
+        except (ConnectionError, OSError):
+            writer.close()
+            return
+        upstream_pump = asyncio.ensure_future(self._pump_clean(reader, up_writer))
+        if faulted:
+            downstream_pump = asyncio.ensure_future(
+                self._pump_faulted(up_reader, writer)
+            )
+        else:
+            downstream_pump = asyncio.ensure_future(
+                self._pump_clean(up_reader, writer)
+            )
+        for task in (upstream_pump, downstream_pump):
+            self._tasks.add(task)
+            task.add_done_callback(self._tasks.discard)
+
+    @staticmethod
+    async def _pump_clean(
+        reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                data = await reader.read(_CHUNK)
+                if not data:
+                    break
+                writer.write(data)
+                await writer.drain()
+        except (ConnectionError, OSError):
+            pass
+        finally:
+            try:
+                writer.close()
+            except (ConnectionError, OSError, RuntimeError):
+                pass
+
+    async def _pump_faulted(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        """Forward upstream→client bytes through the configured fault."""
+        config = self.config
+        fault = config.fault
+        passed = 0
+        stalled = False
+        try:
+            while True:
+                data = await reader.read(_CHUNK)
+                if not data:
+                    if not stalled:
+                        writer.close()
+                    break
+                if stalled:
+                    continue  # STALL swallows everything past the fault point
+                if fault is FaultType.LATENCY:
+                    await asyncio.sleep(config.latency)
+                    writer.write(data)
+                    await writer.drain()
+                    continue
+                clean_budget = config.after_bytes - passed
+                if clean_budget > 0:
+                    head = data[:clean_budget]
+                    writer.write(head)
+                    await writer.drain()
+                    passed += len(head)
+                    if passed < config.after_bytes:
+                        continue
+                self.faults_injected += 1
+                if fault is FaultType.TRUNCATE:
+                    writer.close()  # clean FIN mid-message
+                    break
+                if fault is FaultType.RESET:
+                    _hard_reset(writer)  # RST, not FIN
+                    break
+                if fault is FaultType.GARBAGE:
+                    writer.write(config.garbage_bytes())
+                    await writer.drain()
+                    writer.close()
+                    break
+                # STALL: keep the socket open, deliver nothing more; keep
+                # draining upstream so its write side never blocks
+                stalled = True
+        except (ConnectionError, OSError):
+            pass
+
+
+class ChaosStreamReader:
+    """``asyncio.StreamReader`` wrapper injecting read-side faults.
+
+    Wraps the *inbound* side of a node (see ``FullNode(chaos=...)``): the
+    node's reads of what the remote sent get delayed, truncated, replaced
+    with garbage, reset, or stalled — so a localhost simnet contains
+    misbehaving peers without any proxy processes.
+    """
+
+    def __init__(self, inner: asyncio.StreamReader, config: ChaosConfig) -> None:
+        self._inner = inner
+        self.config = config
+        self._passed = 0
+
+    async def _fault_gate(self, size: int) -> None:
+        """Apply the configured fault before delivering ``size`` bytes."""
+        config = self.config
+        fault = config.fault
+        if fault is FaultType.LATENCY:
+            await asyncio.sleep(config.latency)
+            return
+        if self._passed + size <= config.after_bytes:
+            return
+        if fault is FaultType.STALL:
+            # never deliver: park until the connection handler is cancelled
+            await asyncio.get_running_loop().create_future()
+        if fault is FaultType.RESET:
+            raise ConnectionResetError("chaos: injected reset")
+        if fault is FaultType.TRUNCATE:
+            raise asyncio.IncompleteReadError(partial=b"", expected=size)
+        # GARBAGE is handled by the read methods (they substitute bytes)
+
+    async def readexactly(self, size: int) -> bytes:
+        await self._fault_gate(size)
+        data = await self._inner.readexactly(size)
+        self._passed += len(data)
+        if self.config.fault is FaultType.GARBAGE and self._passed > self.config.after_bytes:
+            junk = self.config.garbage_bytes()
+            return (junk * (size // len(junk) + 1))[:size]
+        return data
+
+    async def read(self, size: int = -1) -> bytes:
+        await self._fault_gate(max(size, 1))
+        data = await self._inner.read(size)
+        self._passed += len(data)
+        if self.config.fault is FaultType.GARBAGE and self._passed > self.config.after_bytes:
+            junk = self.config.garbage_bytes()
+            return (junk * (len(data) // len(junk) + 1))[: len(data)]
+        return data
+
+    def at_eof(self) -> bool:
+        return self._inner.at_eof()

@@ -232,9 +232,12 @@ async def initiate_handshake(
     nonce = os.urandom(_NONCE_LEN)
     auth_wire = make_auth(initiator_key, responder_public, ephemeral_key, nonce)
     writer.write(auth_wire)
-    await writer.drain()
-    prefix = await reader.readexactly(2)
-    rest = await reader.readexactly(handshake_message_size(prefix) - 2)
+    # the whole exchange runs under open_session's handshake_timeout wait_for
+    await writer.drain()  # reprolint: disable=RETRY-SAFE
+    prefix = await reader.readexactly(2)  # reprolint: disable=RETRY-SAFE
+    rest = await reader.readexactly(  # reprolint: disable=RETRY-SAFE
+        handshake_message_size(prefix) - 2
+    )
     remote_ephemeral, responder_nonce, ack_wire = read_ack(
         initiator_key, prefix + rest
     )
@@ -254,8 +257,11 @@ async def initiate_handshake(
 
 async def respond_handshake(reader, writer, responder_key: PrivateKey) -> HandshakeResult:
     """Run the responder side of the handshake over asyncio streams."""
-    prefix = await reader.readexactly(2)
-    rest = await reader.readexactly(handshake_message_size(prefix) - 2)
+    # the whole exchange runs under accept_session's HANDSHAKE_TIMEOUT wait_for
+    prefix = await reader.readexactly(2)  # reprolint: disable=RETRY-SAFE
+    rest = await reader.readexactly(  # reprolint: disable=RETRY-SAFE
+        handshake_message_size(prefix) - 2
+    )
     initiator_public, remote_ephemeral, initiator_nonce, auth_wire = read_auth(
         responder_key, prefix + rest
     )
@@ -263,7 +269,7 @@ async def respond_handshake(reader, writer, responder_key: PrivateKey) -> Handsh
     nonce = os.urandom(_NONCE_LEN)
     ack_wire = make_ack(initiator_public, ephemeral_key, nonce)
     writer.write(ack_wire)
-    await writer.drain()
+    await writer.drain()  # reprolint: disable=RETRY-SAFE
     secrets = derive_secrets(
         is_initiator=False,
         ephemeral_key=ephemeral_key,

@@ -121,30 +121,56 @@ async def open_session(
     private_key: PrivateKey,
     remote_public_key: PublicKey,
     dial_timeout: float = DIAL_TIMEOUT,
+    handshake_timeout: float = HANDSHAKE_TIMEOUT,
 ) -> RLPxSession:
-    """Dial ``host:port`` and run the initiator handshake."""
+    """Dial ``host:port`` and run the initiator handshake.
+
+    The TCP connect and the auth/ack exchange run under separate budgets,
+    and every failure raises a :class:`HandshakeError` whose ``stage`` /
+    ``kind`` classify it (refused vs. reset vs. stalled vs. garbage) for
+    the crawler's fine-grained dial accounting.
+    """
     try:
         reader, writer = await asyncio.wait_for(
             asyncio.open_connection(host, port), dial_timeout
         )
-    except (ConnectionError, OSError, asyncio.TimeoutError) as exc:
-        raise HandshakeError(f"dial {host}:{port} failed: {exc}") from exc
+    except asyncio.TimeoutError as exc:
+        raise HandshakeError(
+            f"dial {host}:{port} timed out", stage="connect", kind="timeout"
+        ) from exc
+    except ConnectionRefusedError as exc:
+        raise HandshakeError(
+            f"dial {host}:{port} refused", stage="connect", kind="refused"
+        ) from exc
+    except (ConnectionError, OSError) as exc:
+        raise HandshakeError(
+            f"dial {host}:{port} failed: {exc}", stage="connect", kind="unreachable"
+        ) from exc
     try:
         result = await asyncio.wait_for(
             initiate_handshake(reader, writer, private_key, remote_public_key),
-            HANDSHAKE_TIMEOUT,
+            handshake_timeout,
         )
     except HandshakeError:
         writer.close()
         raise
-    except (
-        asyncio.IncompleteReadError,
-        asyncio.TimeoutError,
-        ConnectionError,
-        OSError,
-    ) as exc:
+    except asyncio.IncompleteReadError as exc:
         writer.close()
-        raise HandshakeError(f"handshake with {host}:{port} failed: {exc}") from exc
+        raise HandshakeError(
+            f"handshake with {host}:{port} truncated: {exc}",
+            stage="rlpx",
+            kind="truncated",
+        ) from exc
+    except asyncio.TimeoutError as exc:
+        writer.close()
+        raise HandshakeError(
+            f"handshake with {host}:{port} stalled", stage="rlpx", kind="timeout"
+        ) from exc
+    except (ConnectionError, OSError) as exc:
+        writer.close()
+        raise HandshakeError(
+            f"handshake with {host}:{port} reset: {exc}", stage="rlpx", kind="reset"
+        ) from exc
     return RLPxSession(reader, writer, result)
 
 

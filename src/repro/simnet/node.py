@@ -34,6 +34,30 @@ class DialOutcome(enum.Enum):
     HELLO_THEN_DISCONNECT = "hello-then-disconnect"
     FULL_HARVEST = "full-harvest"            # HELLO + STATUS (+ DAO check)
 
+    @property
+    def connected(self) -> bool:
+        """A TCP connection was established (the peer is alive at all).
+
+        TIMEOUT and CONNECTION_REFUSED mean nothing ever answered; every
+        other outcome is evidence of a listening process.
+        """
+        return self not in (DialOutcome.TIMEOUT, DialOutcome.CONNECTION_REFUSED)
+
+    @property
+    def completed(self) -> bool:
+        """The RLPx session came up and the peer spoke DEVp2p.
+
+        This is §4's "completed dial" — the bar for joining StaticNodes.
+        A refused, reset, or stalled connection is *not* completed and
+        must not be re-dialed every 30 minutes.
+        """
+        return self in (
+            DialOutcome.DISCONNECT_BEFORE_HELLO,
+            DialOutcome.HELLO_NO_STATUS,
+            DialOutcome.HELLO_THEN_DISCONNECT,
+            DialOutcome.FULL_HARVEST,
+        )
+
 
 @dataclass
 class DialResult:
@@ -60,6 +84,13 @@ class DialResult:
     #: chain head height of the node's network when STATUS was taken —
     #: freshness (Figure 14) is the lag against *this*, not a later head
     head_height: Optional[int] = None
+    #: which harvest stage failed: connect | rlpx | hello | status | dao
+    failure_stage: Optional[str] = None
+    #: how it failed: refused | stalled | reset | truncated | unreachable |
+    #: protocol — the fine-grained taxonomy a flat timeout conflates
+    failure_detail: Optional[str] = None
+    #: connection attempts this result covers (> 1 under a RetryPolicy)
+    attempts: int = 1
 
     @property
     def got_hello(self) -> bool:

@@ -1,0 +1,11 @@
+"""RETRY-SAFE firing fixture: three raw network awaits with no deadline."""
+
+import asyncio
+
+
+async def dial_and_read(host, port):
+    reader, writer = await asyncio.open_connection(host, port)
+    header = await reader.readexactly(32)
+    writer.write(header)
+    await writer.drain()
+    return header

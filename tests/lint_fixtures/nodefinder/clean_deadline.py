@@ -1,0 +1,19 @@
+"""RETRY-SAFE clean fixture: every network await runs under a deadline."""
+
+import asyncio
+
+
+async def dial_and_read(host, port):
+    reader, writer = await asyncio.wait_for(
+        asyncio.open_connection(host, port), 5.0
+    )
+    header = await asyncio.wait_for(reader.readexactly(32), 5.0)
+    async with asyncio.timeout(5.0):
+        writer.write(header)
+        await writer.drain()
+    return header
+
+
+async def suppressed_by_caller(reader):
+    # the caller wraps this helper in wait_for, like the RLPx handshake
+    return await reader.readexactly(2)  # reprolint: disable=RETRY-SAFE

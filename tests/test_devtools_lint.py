@@ -24,7 +24,14 @@ from repro.devtools.runner import PARSE_ERROR, iter_python_files
 SRC = Path(repro.__file__).resolve().parents[1]
 FIXTURES = Path(__file__).resolve().parent / "lint_fixtures"
 
-RULE_CODES = {"SIM-DET", "ASYNC-BLOCK", "ASYNC-CANCEL", "EXC-SILENT", "CRYPTO-BYTES"}
+RULE_CODES = {
+    "SIM-DET",
+    "ASYNC-BLOCK",
+    "ASYNC-CANCEL",
+    "EXC-SILENT",
+    "CRYPTO-BYTES",
+    "RETRY-SAFE",
+}
 
 
 # -- the gate ---------------------------------------------------------------
@@ -49,6 +56,7 @@ FIRING = {
     "async_cancel/bad_swallow.py": {"ASYNC-CANCEL": 3},
     "exc_silent/bad_silent.py": {"EXC-SILENT": 2},
     "crypto/bad_mixing.py": {"CRYPTO-BYTES": 4},
+    "nodefinder/bad_raw_await.py": {"RETRY-SAFE": 3},
 }
 
 CLEAN = [
@@ -57,6 +65,7 @@ CLEAN = [
     "async_cancel/clean_reraise.py",
     "exc_silent/clean_narrow.py",
     "crypto/clean_bytes.py",
+    "nodefinder/clean_deadline.py",
 ]
 
 

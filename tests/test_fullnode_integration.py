@@ -184,13 +184,17 @@ class TestHeterogeneousNetwork:
 
         run(scenario())
 
-    def test_dead_target_times_out(self):
+    def test_dead_target_refused(self):
         async def scenario():
             node = FullNode()
             await node.start()
             enode = node.enode
             await node.stop()
             result = await harvest(enode, PrivateKey(49), dial_timeout=1.5)
-            assert result.outcome is DialOutcome.TIMEOUT
+            # the port is closed again, so the dial is actively refused —
+            # distinguishable from an unreachable host timing out
+            assert result.outcome is DialOutcome.CONNECTION_REFUSED
+            assert result.failure_stage == "connect"
+            assert not result.outcome.completed
 
         run(scenario())

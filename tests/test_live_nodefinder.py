@@ -1,11 +1,15 @@
 """End-to-end live crawl: LiveNodeFinder against a real localhost network."""
 
 import asyncio
+import time
 
 import pytest
 
+from repro.crypto.keys import PrivateKey
+from repro.discovery.enode import ENode
 from repro.fullnode import start_localhost_network
 from repro.nodefinder.live import LiveConfig, LiveNodeFinder
+from repro.resilience import BreakerState, RetryPolicy
 from repro.simnet.node import DialOutcome, DialResult
 
 
@@ -93,3 +97,95 @@ def test_stale_addresses_pruned_with_injected_clock():
     fake_now[0] = 25 * 3600.0  # a successful dial 25h ago: stale, drop it
     finder._prune_stale()
     assert node_id not in finder.static_nodes
+
+
+def dead_enode(seed=91):
+    """An enode pointing at a closed localhost port: dials are refused."""
+    return ENode(PrivateKey(seed).public_key.to_bytes(), "127.0.0.1", 1, 1)
+
+
+def test_stop_returns_promptly_with_inflight_retrying_dial():
+    """stop() must not wait out a retry schedule: a dial mid-backoff (the
+    policy below would retry for ~50s) is cancelled with everything else."""
+
+    async def scenario():
+        finder = LiveNodeFinder(
+            config=LiveConfig(
+                lookup_interval=0.1,
+                static_dial_interval=600.0,
+                dial_timeout=1.0,
+                retry=RetryPolicy(max_attempts=10, base_delay=5.0),
+            )
+        )
+        await finder.start(bootstrap=[])
+        # plant a due static entry at a closed port: the static loop dials
+        # it, the dial is refused instantly, and the retry policy parks it
+        # in a 5-second backoff sleep
+        target = dead_enode()
+        finder.static_nodes[target.node_id] = (target, 0.0)
+        await asyncio.sleep(0.5)  # let the dial enter its backoff
+        started = time.monotonic()
+        await finder.stop()
+        assert time.monotonic() - started < 2.0
+
+    asyncio.run(scenario())
+
+
+def test_crashed_discovery_loop_is_restarted_and_counted():
+    async def scenario():
+        finder = LiveNodeFinder(
+            config=LiveConfig(
+                lookup_interval=0.05,
+                static_dial_interval=600.0,
+                supervisor_policy=RetryPolicy(max_attempts=5, base_delay=0.05),
+            )
+        )
+        await finder.start(bootstrap=[])
+        crashes = [0]
+
+        async def flaky_lookup(target):
+            if crashes[0] == 0:
+                crashes[0] += 1
+                raise RuntimeError("injected lookup crash")
+            return []
+
+        finder.discovery.lookup = flaky_lookup
+        try:
+            for _ in range(60):
+                await asyncio.sleep(0.05)
+                if (
+                    finder.stats["loop_restarts"] >= 1
+                    and finder.stats["lookups"] >= 1
+                ):
+                    break
+            assert finder.stats["loop_crashes"] >= 1
+            assert finder.stats["loop_restarts"] >= 1
+            # the restarted loop kept crawling after the crash
+            assert finder.stats["lookups"] >= 1
+        finally:
+            await finder.stop()
+
+    asyncio.run(scenario())
+
+
+def test_breaker_backs_off_repeatedly_failing_peer():
+    async def scenario():
+        finder = LiveNodeFinder(
+            config=LiveConfig(
+                dial_timeout=1.0,
+                retry=None,  # each _dial is one attempt
+                breaker_threshold=2,
+                breaker_cooldown=600.0,
+            )
+        )
+        target = dead_enode()
+        await finder._dial(target, "dynamic-dial")
+        await finder._dial(target, "dynamic-dial")
+        assert finder.breakers.state(target.node_id) is BreakerState.OPEN
+        await finder._dial(target, "dynamic-dial")  # skipped, not dialed
+        assert finder.stats["breaker_skips"] == 1
+        assert finder.stats["dynamic_dials"] == 2
+        # a refused dial never joins StaticNodes (§4 completed-dial rule)
+        assert target.node_id not in finder.static_nodes
+
+    asyncio.run(scenario())

@@ -105,10 +105,16 @@ class TestHarvestRecords:
         run(scenario())
 
     def test_harvest_unreachable_target(self):
+        # a closed localhost port answers with RST: that is a *refused*
+        # connection, not a timeout — the fine-grained accounting keeps them
+        # apart (a flat TIMEOUT conflated both)
         async def scenario():
             target = ENode(PrivateKey(74).public_key.to_bytes(), "127.0.0.1", 1, 1)
             result = await harvest(target, PrivateKey(75), dial_timeout=1.0)
-            assert result.outcome is DialOutcome.TIMEOUT
+            assert result.outcome is DialOutcome.CONNECTION_REFUSED
+            assert result.failure_stage == "connect"
+            assert result.failure_detail == "refused"
+            assert not result.outcome.connected
             assert result.duration < 5.0
 
         run(scenario())
