@@ -7,7 +7,10 @@ Commands:
 * ``simulate``  — crawl a simulated ecosystem and print the headline
   measurements (services, clients, networks, sanitisation);
 * ``casestudy`` — reproduce the §3 instrumented-client week (Table 1);
-* ``distance``  — reproduce the Figure 11 distance-metric comparison.
+* ``distance``  — reproduce the Figure 11 distance-metric comparison;
+* ``telemetry`` — summarise a crawl from its JSONL measurement journal
+  (``--journal crawl.jsonl``) or a metrics-registry snapshot
+  (``--metrics metrics.json``); ``demo`` writes both with the same flags.
 """
 
 from __future__ import annotations
@@ -18,15 +21,25 @@ import sys
 
 
 def _cmd_demo(args: argparse.Namespace) -> int:
+    import json
+
     from repro.crypto.keys import PrivateKey
     from repro.fullnode import start_localhost_network
     from repro.nodefinder.wire import crawl_targets
+    from repro.telemetry import EventJournal, Telemetry
+
+    journal = EventJournal.open(args.journal) if args.journal else None
+    telemetry = Telemetry(journal=journal)
 
     async def run() -> int:
         nodes = await start_localhost_network(args.nodes, blocks=args.blocks)
         print(f"started {len(nodes)} live nodes on 127.0.0.1")
         try:
-            db = await crawl_targets([node.enode for node in nodes], PrivateKey.generate())
+            db = await crawl_targets(
+                [node.enode for node in nodes],
+                PrivateKey.generate(),
+                telemetry=telemetry,
+            )
             for entry in db:
                 print(
                     f"  {entry.node_id.hex()[:8]}  {entry.client_id}  "
@@ -39,7 +52,35 @@ def _cmd_demo(args: argparse.Namespace) -> int:
                 await node.stop()
         return 0
 
-    return asyncio.run(run())
+    try:
+        return asyncio.run(run())
+    finally:
+        if journal is not None:
+            journal.close()
+            print(f"measurement journal: {args.journal} ({journal.events_written} events)")
+        if args.metrics:
+            with open(args.metrics, "w", encoding="utf-8") as stream:
+                json.dump(telemetry.registry.snapshot(), stream, indent=2)
+            print(f"metrics snapshot: {args.metrics}")
+
+
+def _cmd_telemetry(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.telemetry import read_events, summarize_journal, summarize_snapshot
+
+    if not args.journal and not args.metrics:
+        print("telemetry: pass --journal crawl.jsonl and/or --metrics metrics.json",
+              file=sys.stderr)
+        return 2
+    sections = []
+    if args.journal:
+        sections.append(summarize_journal(read_events(args.journal)))
+    if args.metrics:
+        with open(args.metrics, encoding="utf-8") as stream:
+            sections.append(summarize_snapshot(json.load(stream)))
+    print("\n\n".join(sections))
+    return 0
 
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
@@ -139,6 +180,10 @@ def build_parser() -> argparse.ArgumentParser:
     demo = commands.add_parser("demo", help="crawl a live localhost network")
     demo.add_argument("--nodes", type=int, default=4)
     demo.add_argument("--blocks", type=int, default=16)
+    demo.add_argument("--journal", metavar="PATH",
+                      help="write a JSONL measurement journal of the crawl")
+    demo.add_argument("--metrics", metavar="PATH",
+                      help="write a metrics-registry snapshot (JSON)")
     demo.set_defaults(func=_cmd_demo)
 
     simulate = commands.add_parser("simulate", help="crawl a simulated ecosystem")
@@ -158,6 +203,15 @@ def build_parser() -> argparse.ArgumentParser:
     distance.add_argument("--fast", action="store_true",
                           help="sample hashes directly instead of hashing IDs")
     distance.set_defaults(func=_cmd_distance)
+
+    telemetry = commands.add_parser(
+        "telemetry", help="summarise a crawl from its journal or metrics snapshot"
+    )
+    telemetry.add_argument("--journal", metavar="PATH",
+                           help="JSONL measurement journal written by a crawl")
+    telemetry.add_argument("--metrics", metavar="PATH",
+                           help="metrics-registry snapshot (JSON)")
+    telemetry.set_defaults(func=_cmd_telemetry)
     return parser
 
 

@@ -26,12 +26,19 @@ Families
     runs under ``asyncio.wait_for``, ``asyncio.timeout``, or a
     RetryPolicy/StageBudgets deadline, so one silent peer cannot park a
     dial slot forever.
+``OBS-CLOCK``
+    Inside ``repro.telemetry``: never *call* a wall clock
+    (``time.time``, ``time.monotonic``, ``datetime.now``, ...) — read
+    the injected clock instead, so metrics, spans, and journal records
+    share one timeline.  Passing ``time.monotonic`` by reference as a
+    default clock is the sanctioned idiom and does not fire.
 """
 
 from repro.devtools.rules import (  # noqa: F401
     async_rules,
     crypto_bytes,
     exc_silent,
+    obs_clock,
     retry_safe,
     sim_det,
 )

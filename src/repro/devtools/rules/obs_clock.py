@@ -1,0 +1,80 @@
+"""OBS-CLOCK: telemetry reads time only through the injected clock.
+
+Metrics, spans, and journal records share one timeline precisely because
+every timestamp flows through the single clock injected into
+``MetricsRegistry`` / ``Telemetry``.  One direct ``time.time()`` (or
+``time.monotonic()``, ``datetime.now()``, ...) inside
+``repro.telemetry`` forks that timeline: simulated runs stop being
+reproducible and journal timestamps stop lining up with span durations.
+Referencing ``time.monotonic`` *uncalled* as a default clock is the
+sanctioned idiom and does not fire — only the call does.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import ast
+
+from repro.devtools.astutil import import_aliases, resolve_call
+from repro.devtools.findings import Finding
+from repro.devtools.registry import Rule, register
+from repro.devtools.source import ModuleSource
+
+_WALL_CLOCKS = {
+    "time.time",
+    "time.time_ns",
+    "time.monotonic",
+    "time.monotonic_ns",
+    "time.perf_counter",
+    "time.perf_counter_ns",
+    "time.process_time",
+    "time.process_time_ns",
+}
+
+_DATETIME_BANNED = {
+    "datetime.datetime.now",
+    "datetime.datetime.utcnow",
+    "datetime.datetime.today",
+    "datetime.date.today",
+}
+
+
+@register
+class ObservabilityClock(Rule):
+    code = "OBS-CLOCK"
+    name = "observability-clock"
+    description = (
+        "telemetry code must not call a wall clock directly (time.time, "
+        "time.monotonic, datetime.now, ...); read the injected clock so "
+        "metrics, spans, and journal share one timeline (passing "
+        "time.monotonic uncalled as a default clock is fine)"
+    )
+    scope = ("telemetry",)
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        aliases = import_aliases(module.tree)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            target = resolve_call(node.func, aliases)
+            if target is None:
+                continue
+            message = self._classify(target)
+            if message is not None:
+                yield self.finding(module, node.lineno, node.col_offset, message)
+
+    @staticmethod
+    def _classify(target: str) -> str | None:
+        if target in _WALL_CLOCKS:
+            return (
+                f"direct wall-clock call {target}() in telemetry code; call "
+                "the injected clock (self.clock()) instead — pass "
+                f"{target} by reference only as a default"
+            )
+        if target in _DATETIME_BANNED:
+            return (
+                f"{target}() reads the real calendar in telemetry code; "
+                "timestamps must come from the injected clock"
+            )
+        return None

@@ -40,9 +40,19 @@ from repro.discovery.packets import (
 )
 from repro.discovery.routing import ALPHA, K_NEIGHBORS, RoutingTable
 from repro.errors import BadPacket, DiscoveryError
+from repro.resilience.chaos import ChaosDatagramTransport, DatagramChaosConfig
 from repro.resilience.retry import RetryPolicy
+from repro.telemetry import NULL_TELEMETRY, Telemetry
 
 logger = logging.getLogger(__name__)
+
+#: packet class → the label value telemetry counts it under
+_PACKET_NAMES = {
+    PingPacket: "ping",
+    PongPacket: "pong",
+    FindNodePacket: "findnode",
+    NeighborsPacket: "neighbors",
+}
 
 #: Geth caps NEIGHBORS packets at 12 records to stay under 1280 bytes.
 MAX_NEIGHBORS_PER_PACKET = 12
@@ -66,6 +76,8 @@ class DiscoveryService(asyncio.DatagramProtocol):
         bucket_size: int = 16,
         reply_timeout: float = REPLY_TIMEOUT,
         retry_policy: Optional[RetryPolicy] = None,
+        telemetry: Telemetry = NULL_TELEMETRY,
+        chaos: Optional[DatagramChaosConfig] = None,
     ) -> None:
         self.private_key = private_key
         self.node_id = private_key.public_key.to_bytes()
@@ -81,6 +93,9 @@ class DiscoveryService(asyncio.DatagramProtocol):
         #: retries PING during bonding — one lost datagram should not cost
         #: a whole bond (UDP gives no delivery guarantee); None = one shot
         self.retry_policy = retry_policy
+        self.telemetry = telemetry
+        #: outbound-datagram fault injection (tests); None = clean socket
+        self.chaos = chaos
         self._transport: Optional[asyncio.DatagramTransport] = None
         self._bonds: dict[bytes, float] = {}
         self._pending_pongs: dict[tuple[str, int], list[asyncio.Future]] = {}
@@ -103,8 +118,14 @@ class DiscoveryService(asyncio.DatagramProtocol):
         transport, _ = await loop.create_datagram_endpoint(
             lambda: self, local_addr=(self.host, self.port)
         )
-        self._transport = transport
         self.port = transport.get_extra_info("sockname")[1]
+        if self.chaos is not None:
+            transport = ChaosDatagramTransport(
+                transport,
+                self.chaos,
+                on_fault=self.telemetry.record_datagram_fault,
+            )
+        self._transport = transport
         return self
 
     def close(self) -> None:
@@ -132,16 +153,22 @@ class DiscoveryService(asyncio.DatagramProtocol):
     # -- datagram plumbing ---------------------------------------------------
 
     def connection_made(self, transport: asyncio.BaseTransport) -> None:
-        self._transport = transport  # type: ignore[assignment]
+        if self._transport is None:
+            self._transport = transport  # type: ignore[assignment]
 
     def datagram_received(self, data: bytes, addr: tuple[str, int]) -> None:
         self.stats["packets_received"] += 1
+        self.telemetry.discovery_datagrams.labels(direction="in").inc()
         try:
             decoded = decode_packet(data)
         except BadPacket as exc:
             self.stats["bad_packets"] += 1
+            self.telemetry.discovery_bad_packets.inc()
             logger.debug("bad packet from %s: %s", addr, exc)
             return
+        self.telemetry.discovery_packets.labels(
+            direction="in", type=_PACKET_NAMES[type(decoded.packet)]
+        ).inc()
         handler = {
             PingPacket: self._handle_ping,
             PongPacket: self._handle_pong,
@@ -155,6 +182,10 @@ class DiscoveryService(asyncio.DatagramProtocol):
             raise DiscoveryError("discovery service is not listening")
         datagram = encode_packet(packet, self.private_key)
         self._transport.sendto(datagram, addr)
+        self.telemetry.discovery_datagrams.labels(direction="out").inc()
+        self.telemetry.discovery_packets.labels(
+            direction="out", type=_PACKET_NAMES[type(packet)]
+        ).inc()
         return datagram[:32]  # the packet hash
 
     # -- handlers ------------------------------------------------------------
@@ -224,6 +255,7 @@ class DiscoveryService(asyncio.DatagramProtocol):
         if candidate is not None:
             # Bucket full: Kademlia eviction check — ping the old node.
             asyncio.ensure_future(self._eviction_check(candidate))
+        self.telemetry.discovery_table_size.set(len(self.table))
 
     async def _eviction_check(self, candidate: ENode) -> None:
         alive = await self.ping(candidate)
@@ -231,6 +263,7 @@ class DiscoveryService(asyncio.DatagramProtocol):
             self.table.confirm_alive(candidate)
         else:
             self.table.evict(candidate)
+        self.telemetry.discovery_table_size.set(len(self.table))
 
     # -- client operations -----------------------------------------------------
 
@@ -277,11 +310,14 @@ class DiscoveryService(asyncio.DatagramProtocol):
             return True
         policy = retry if retry is not None else self.retry_policy
         if policy is None:
-            return await self.ping(node)
-        return await policy.run(
-            lambda attempt: self.ping(node),
-            should_retry=lambda answered: not answered,
-        )
+            bonded = await self.ping(node)
+        else:
+            bonded = await policy.run(
+                lambda attempt: self.ping(node),
+                should_retry=lambda answered: not answered,
+            )
+        self.telemetry.record_bond(node.node_id, bonded)
+        return bonded
 
     async def find_node(self, node: ENode, target: bytes) -> list[NeighborRecord]:
         """Send FIND_NODE to ``node``; returns its NEIGHBORS (possibly empty)."""
@@ -364,6 +400,7 @@ class DiscoveryService(asyncio.DatagramProtocol):
                     progressed = True
             if not progressed:
                 break
+        self.telemetry.discovery_table_size.set(len(self.table))
         return sorted(
             seen.values(),
             key=lambda node: int.from_bytes(node.id_hash, "big")

@@ -34,6 +34,7 @@ from repro.errors import HandshakeError, PeerDisconnected, ProtocolError, ReproE
 from repro.ethproto import messages as eth
 from repro.resilience.chaos import ChaosConfig, ChaosStreamReader
 from repro.rlpx.session import accept_session
+from repro.telemetry import NULL_TELEMETRY, Telemetry
 
 logger = logging.getLogger(__name__)
 
@@ -61,6 +62,7 @@ class FullNode:
         config: FullNodeConfig | None = None,
         host: str = "127.0.0.1",
         chaos: ChaosConfig | None = None,
+        telemetry: Telemetry = NULL_TELEMETRY,
     ) -> None:
         self.private_key = private_key or PrivateKey.generate()
         self.chain = chain if chain is not None else HeaderChain(mainnet_genesis())
@@ -70,6 +72,7 @@ class FullNode:
         #: test network can make this node misbehave (stall, reset, send
         #: garbage) toward whoever dials it
         self.chaos = chaos
+        self.telemetry = telemetry
         self.discovery: Optional[DiscoveryService] = None
         self._server: Optional[asyncio.AbstractServer] = None
         self.tcp_port = 0
@@ -87,7 +90,10 @@ class FullNode:
     async def start(self, bootstrap: list[ENode] = ()) -> "FullNode":
         """Bind UDP discovery and the TCP listener."""
         self.discovery = DiscoveryService(
-            self.private_key, host=self.host, bootstrap_nodes=list(bootstrap)
+            self.private_key,
+            host=self.host,
+            bootstrap_nodes=list(bootstrap),
+            telemetry=self.telemetry,
         )
         await self.discovery.listen()
         self._server = await asyncio.start_server(
@@ -155,6 +161,8 @@ class FullNode:
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
         self.stats["inbound_connections"] += 1
+        self.telemetry.inbound.labels(phase="accepted").inc()
+        self.telemetry.emit("inbound", phase="accepted")
         if self.chaos is not None:
             reader = ChaosStreamReader(reader, self.chaos)  # type: ignore[assignment]
         try:
@@ -165,11 +173,18 @@ class FullNode:
         try:
             await peer.handshake()
             self.stats["hellos"] += 1
+            self.telemetry.inbound.labels(phase="hello").inc()
+            self.telemetry.emit(
+                "inbound",
+                phase="hello",
+                node_id=peer.remote_node_id.hex() if peer.remote_node_id else None,
+            )
             if (
                 self.config.enforce_peer_limit
                 and len(self.peers) >= self.config.max_peers
             ):
                 self.stats["too_many_peers_sent"] += 1
+                self.telemetry.inbound.labels(phase="too-many-peers").inc()
                 await self._disconnect_lingering(peer, DisconnectReason.TOO_MANY_PEERS)
                 return
             if peer.negotiated("eth") is None:
@@ -215,6 +230,7 @@ class FullNode:
                 continue
             if code == eth.STATUS:
                 self.stats["statuses"] += 1
+                self.telemetry.inbound.labels(phase="status").inc()
                 remote = eth.StatusMessage.decode(payload)
                 if not remote.same_chain_as(self.our_status()):
                     await peer.disconnect(DisconnectReason.USELESS_PEER)
@@ -228,6 +244,7 @@ class FullNode:
                     bool(request.reverse),
                 )
                 self.stats["headers_served"] += len(headers)
+                self.telemetry.headers_served.inc(len(headers))
                 answer = eth.BlockHeadersMessage.from_headers(headers)
                 await peer.send_subprotocol("eth", eth.BLOCK_HEADERS, answer.encode())
             elif code == eth.GET_BLOCK_BODIES:
@@ -254,19 +271,25 @@ async def start_localhost_network(
     blocks: int = 32,
     config: FullNodeConfig | None = None,
     chaos: ChaosConfig | None = None,
+    telemetry: Telemetry = NULL_TELEMETRY,
 ) -> list[FullNode]:
     """Start ``count`` nodes sharing one mined chain, discovery-bonded in a
     star around the first node (the bootstrap).
 
     With ``chaos``, every node's inbound read path runs under the same
     fault-injection config — a whole misbehaving network in one call.
+    ``telemetry`` (one shared facade) makes the served side observable too.
     """
     chain = HeaderChain(mainnet_genesis())
     chain.mine(blocks)
     nodes = []
     for index in range(count):
         node = FullNode(
-            PrivateKey(10_000 + index), chain=chain, config=config, chaos=chaos
+            PrivateKey(10_000 + index),
+            chain=chain,
+            config=config,
+            chaos=chaos,
+            telemetry=telemetry,
         )
         await node.start()
         nodes.append(node)

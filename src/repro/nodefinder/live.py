@@ -32,6 +32,7 @@ from repro.discovery.protocol import DiscoveryService
 from repro.nodefinder.database import NodeDB
 from repro.nodefinder.wire import harvest
 from repro.resilience import LoopSupervisor, PeerScoreboard, RetryPolicy
+from repro.telemetry import Telemetry
 
 logger = logging.getLogger(__name__)
 
@@ -67,6 +68,7 @@ class LiveNodeFinder:
         host: str = "127.0.0.1",
         clock: Callable[[], float] | None = None,
         rng: Optional[random.Random] = None,
+        telemetry: Optional[Telemetry] = None,
     ) -> None:
         self.private_key = private_key or PrivateKey.generate()
         self.config = config or LiveConfig()
@@ -78,6 +80,10 @@ class LiveNodeFinder:
         self.clock = clock if clock is not None else time.monotonic
         #: draws retry jitter; injectable for reproducible backoff schedules
         self.rng = rng
+        #: the crawler is a measurement instrument, so it always carries a
+        #: *real* registry (``stats`` reads off it); pass your own Telemetry
+        #: to add a journal or share a registry across components
+        self.telemetry = telemetry if telemetry is not None else Telemetry()
         self.db = NodeDB()
         self.discovery: Optional[DiscoveryService] = None
         #: node id -> (enode, next static dial time)
@@ -86,25 +92,39 @@ class LiveNodeFinder:
             failure_threshold=self.config.breaker_threshold,
             cooldown=self.config.breaker_cooldown,
             clock=self.clock,
+            on_transition=self.telemetry.record_breaker,
         )
         self._supervisors: list[LoopSupervisor] = []
         self._tasks: list[asyncio.Task] = []
         self._stopping = False
         self._dial_semaphore = asyncio.Semaphore(self.config.max_active_dials)
         self._dialed_once: set[bytes] = set()
-        self.stats = {
-            "lookups": 0,
-            "dynamic_dials": 0,
-            "static_dials": 0,
-            "dial_failures": 0,
-            "breaker_skips": 0,
-            "loop_crashes": 0,
-            "loop_restarts": 0,
+
+    @property
+    def stats(self) -> dict[str, int]:
+        """The crawler's counters, read live off the telemetry registry."""
+        telemetry = self.telemetry
+        return {
+            "lookups": int(telemetry.lookups.value),
+            "dynamic_dials": int(
+                telemetry.scheduled_dials.labels(type="dynamic-dial").value
+            ),
+            "static_dials": int(
+                telemetry.scheduled_dials.labels(type="static-dial").value
+            ),
+            "dial_failures": int(telemetry.dial_failures.value),
+            "breaker_skips": int(telemetry.breaker_skips.value),
+            "loop_crashes": int(telemetry.loop_crashes.value),
+            "loop_restarts": int(telemetry.loop_restarts.value),
+            "loop_deaths": int(telemetry.loop_deaths.value),
         }
 
     async def start(self, bootstrap: list[ENode]) -> "LiveNodeFinder":
         self.discovery = DiscoveryService(
-            self.private_key, host=self.host, bootstrap_nodes=list(bootstrap)
+            self.private_key,
+            host=self.host,
+            bootstrap_nodes=list(bootstrap),
+            telemetry=self.telemetry,
         )
         await self.discovery.listen()
         for node in bootstrap:
@@ -118,15 +138,33 @@ class LiveNodeFinder:
                 loop,
                 policy=self.config.supervisor_policy,
                 rng=self.rng,
-                on_crash=lambda exc: self._count("loop_crashes"),
-                on_restart=lambda: self._count("loop_restarts"),
+                on_crash=lambda exc, name=name: self.telemetry.record_loop_crash(
+                    name, repr(exc)
+                ),
+                on_restart=lambda name=name: self.telemetry.record_loop_restart(
+                    name
+                ),
             )
             self._supervisors.append(supervisor)
-            self._tasks.append(asyncio.ensure_future(supervisor.run()))
+            task = asyncio.ensure_future(supervisor.run())
+            task.add_done_callback(
+                lambda task, name=name: self._task_died(name, task)
+            )
+            self._tasks.append(task)
         return self
 
-    def _count(self, key: str) -> None:
-        self.stats[key] += 1
+    def _task_died(self, name: str, task: asyncio.Task) -> None:
+        """A supervised loop ended for good — count it if it crashed.
+
+        Fires when the supervisor's restart budget is spent (or it raised
+        outside its own loop); a cancelled task is a normal shutdown.
+        """
+        if task.cancelled() or task.exception() is None:
+            return
+        self.telemetry.record_loop_death(name, repr(task.exception()))
+        logger.warning(
+            "crawler %s loop died with %r", name, task.exception()
+        )
 
     async def stop(self) -> None:
         self._stopping = True
@@ -140,10 +178,9 @@ class LiveNodeFinder:
                 task.cancel()
             _, pending = await asyncio.wait(pending, timeout=1.0)
         # no except clause here: asyncio.wait never raises, and a crashed
-        # (non-cancelled) loop is surfaced instead of silently dropped
-        for task in self._tasks:
-            if task.done() and not task.cancelled() and task.exception():
-                logger.warning("crawler task %r died with %r", task, task.exception())
+        # (non-cancelled) loop is surfaced by the done-callback instead of
+        # silently dropped; give those callbacks a tick to run
+        await asyncio.sleep(0)
         if self.discovery is not None:
             self.discovery.close()
 
@@ -154,7 +191,7 @@ class LiveNodeFinder:
         while not self._stopping:
             target = PrivateKey.generate().public_key.to_bytes()
             found = await self.discovery.lookup(target)
-            self.stats["lookups"] += 1
+            self.telemetry.lookups.inc()
             fresh = [
                 node
                 for node in found
@@ -173,7 +210,7 @@ class LiveNodeFinder:
                     if isinstance(outcome, asyncio.CancelledError):
                         raise outcome
                     if isinstance(outcome, BaseException):
-                        self.stats["dial_failures"] += 1
+                        self.telemetry.dial_failures.inc()
                         logger.warning(
                             "dynamic dial of %s crashed: %r",
                             node.short_id(),
@@ -200,7 +237,7 @@ class LiveNodeFinder:
                 except asyncio.CancelledError:
                     raise
                 except Exception as exc:
-                    self.stats["dial_failures"] += 1
+                    self.telemetry.dial_failures.inc()
                     logger.warning(
                         "static dial of %s crashed: %r", enode.short_id(), exc
                     )
@@ -220,7 +257,7 @@ class LiveNodeFinder:
 
     async def _dial(self, target: ENode, connection_type: str) -> None:
         if not self.breakers.allow(target.node_id):
-            self.stats["breaker_skips"] += 1
+            self.telemetry.breaker_skips.inc()
             return
         async with self._dial_semaphore:
             self._dialed_once.add(target.node_id)
@@ -232,9 +269,9 @@ class LiveNodeFinder:
                 clock=self.clock,
                 retry=self.config.retry,
                 retry_rng=self.rng,
+                telemetry=self.telemetry,
             )
-        key = "dynamic_dials" if connection_type == "dynamic-dial" else "static_dials"
-        self.stats[key] += 1
+        self.telemetry.scheduled_dials.labels(type=connection_type).inc()
         self.db.observe(result)
         if result.outcome.completed:
             self.breakers.record_success(target.node_id)

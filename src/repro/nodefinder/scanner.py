@@ -30,6 +30,7 @@ from repro.simnet.clock import SECONDS_PER_DAY, SECONDS_PER_HOUR
 from repro.simnet.geo import Location
 from repro.simnet.node import DialOutcome, DialResult
 from repro.simnet.world import NodeAddress, SimWorld
+from repro.telemetry import NULL_TELEMETRY, Telemetry
 
 #: Kademlia fan-out per lookup round (§2.1).
 ALPHA = 3
@@ -71,7 +72,9 @@ class NodeFinderInstance:
         config: NodeFinderConfig | None = None,
         name: str = "nodefinder-0",
         location: Location | None = None,
+        telemetry: Telemetry = NULL_TELEMETRY,
     ) -> None:
+        self.telemetry = telemetry
         self.world = world
         self.config = config or NodeFinderConfig()
         self.name = name
@@ -259,6 +262,9 @@ class NodeFinderInstance:
     def _record(self, result: DialResult) -> None:
         self.stats.record_dial(self.day, result)
         self.db.observe(result)
+        # simulated dials have no spans (no real stages ran), but they
+        # share the funnel counters and journal schema with live crawls
+        self.telemetry.record_dial(result, attempt=result.attempts)
 
     def watch_bootstrap(self, node_id: bytes) -> None:
         self.stats.watch_bootstrap(node_id)

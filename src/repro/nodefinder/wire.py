@@ -44,6 +44,8 @@ from repro.resilience import (
 )
 from repro.rlpx.session import open_session
 from repro.simnet.node import DialOutcome, DialResult
+from repro.telemetry import NULL_TELEMETRY, Telemetry
+from repro.telemetry.spans import Span
 
 logger = logging.getLogger(__name__)
 
@@ -116,6 +118,7 @@ async def harvest(
     budgets: StageBudgets | None = None,
     retry: RetryPolicy | None = None,
     retry_rng: Optional[random.Random] = None,
+    telemetry: Telemetry = NULL_TELEMETRY,
 ) -> DialResult:
     """Run the full §4 harvest against one live peer.
 
@@ -129,24 +132,29 @@ async def harvest(
     (refused / reset / stalled — never a peer's actual answer) are
     re-attempted under the policy; the returned result carries the total
     ``attempts`` count and always reflects the final attempt.
+
+    ``telemetry`` receives one ``record_dial`` per attempt (with a span
+    whose children time each stage) and a ``record_retry`` per backoff.
     """
     stage_budgets = budgets if budgets is not None else StageBudgets.flat(dial_timeout)
     if retry is None:
         return await _harvest_once(
-            target, key, connection_type, stage_budgets, clock
+            target, key, connection_type, stage_budgets, clock, telemetry
         )
 
     async def attempt(number: int) -> DialResult:
-        result = await _harvest_once(
-            target, key, connection_type, stage_budgets, clock
+        return await _harvest_once(
+            target, key, connection_type, stage_budgets, clock, telemetry, number
         )
-        result.attempts = number
-        return result
+
+    def on_retry(attempt_number: int, delay: float) -> None:
+        telemetry.record_retry(target.node_id, attempt_number, delay)
 
     return await retry.run(
         attempt,
         should_retry=lambda result: result.outcome in RETRYABLE_OUTCOMES,
         rng=retry_rng,
+        on_retry=on_retry,
     )
 
 
@@ -156,8 +164,26 @@ async def _harvest_once(
     connection_type: str,
     budgets: StageBudgets,
     clock: Callable[[], float] | None,
+    telemetry: Telemetry = NULL_TELEMETRY,
+    attempt: int = 1,
 ) -> DialResult:
-    started = time.monotonic()
+    """One dial attempt under a fresh span; duration comes off the span."""
+    span = telemetry.start_span("dial")
+    result = await _harvest_attempt(target, key, connection_type, budgets, clock, span)
+    result.duration = span.finish(result.outcome.value)
+    result.attempts = attempt
+    telemetry.record_dial(result, span=span, attempt=attempt)
+    return result
+
+
+async def _harvest_attempt(
+    target: ENode,
+    key: PrivateKey,
+    connection_type: str,
+    budgets: StageBudgets,
+    clock: Callable[[], float] | None,
+    span: Span,
+) -> DialResult:
     now = clock if clock is not None else time.time
     base = dict(
         timestamp=now(),
@@ -174,6 +200,7 @@ async def _harvest_once(
             PublicKey.from_bytes(target.node_id),
             dial_timeout=budgets.connect,
             handshake_timeout=budgets.rlpx,
+            trace=span,
         )
     except HandshakeError as exc:
         outcome, stage, detail = _handshake_fields(exc)
@@ -181,14 +208,15 @@ async def _harvest_once(
             outcome=outcome,
             failure_stage=stage,
             failure_detail=detail,
-            duration=time.monotonic() - started,
             **base,
         )
     peer = DevP2PPeer(session, nodefinder_hello(key))
     hello_fields: dict = {}
     stage = "hello"
+    stage_span = span.child("hello")
     try:
         remote_hello = await bounded(peer.handshake(), budgets.hello, "hello")
+        stage_span.finish()
         hello_fields = dict(
             client_id=remote_hello.client_id,
             capabilities=[tuple(cap) for cap in remote_hello.capabilities],
@@ -201,21 +229,24 @@ async def _harvest_once(
                 outcome=DialOutcome.HELLO_THEN_DISCONNECT,
                 disconnect_reason=DisconnectReason.USELESS_PEER,
                 latency=latency,
-                duration=time.monotonic() - started,
                 **base,
                 **hello_fields,
             )
         stage = "status"
+        stage_span = span.child("status")
         info = await bounded(
             run_eth_handshake(peer, nodefinder_status()), budgets.status, "status"
         )
+        stage_span.finish()
         status = info.remote_status
         dao_side = None
         if status.genesis_hash == eth.MAINNET_GENESIS_HASH:
             stage = "dao"
+            stage_span = span.child("dao")
             side, header = await bounded(
                 harvest_dao_check(peer), budgets.dao, "dao"
             )
+            stage_span.finish()
             dao_side = {"supports": "supports", "opposes": "opposes"}.get(
                 side.value, "empty"
             )
@@ -223,7 +254,6 @@ async def _harvest_once(
         return DialResult(
             outcome=DialOutcome.FULL_HARVEST,
             latency=session.smoothed_rtt() or latency,
-            duration=time.monotonic() - started,
             network_id=status.network_id,
             genesis_hash=status.genesis_hash,
             total_difficulty=status.total_difficulty,
@@ -242,7 +272,6 @@ async def _harvest_once(
         return DialResult(
             outcome=outcome,
             disconnect_reason=reason,
-            duration=time.monotonic() - started,
             **base,
             **hello_fields,
         )
@@ -254,7 +283,6 @@ async def _harvest_once(
             ),
             failure_stage=exc.stage,
             failure_detail="stalled",
-            duration=time.monotonic() - started,
             **base,
             **hello_fields,
         )
@@ -266,7 +294,6 @@ async def _harvest_once(
             ),
             failure_stage=stage,
             failure_detail=_error_detail(exc),
-            duration=time.monotonic() - started,
             **base,
             **hello_fields,
         )
@@ -282,6 +309,7 @@ async def crawl_targets(
     budgets: StageBudgets | None = None,
     retry: RetryPolicy | None = None,
     breaker: PeerScoreboard | None = None,
+    telemetry: Telemetry = NULL_TELEMETRY,
 ) -> NodeDB:
     """Harvest many live targets concurrently (maxActiveDialTasks=16, §4).
 
@@ -303,6 +331,7 @@ async def crawl_targets(
                 dial_timeout=dial_timeout,
                 budgets=budgets,
                 retry=retry,
+                telemetry=telemetry,
             )
         if breaker is not None:
             if result.outcome.completed:

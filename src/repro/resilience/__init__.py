@@ -6,16 +6,20 @@ the same way: deterministic retry/backoff (:class:`RetryPolicy`),
 per-stage harvest deadlines (:class:`StageBudgets`), per-peer circuit
 breakers (:class:`CircuitBreaker` / :class:`PeerScoreboard`), crash
 supervision for crawler loops (:class:`LoopSupervisor`), and the chaos
-fault-injection layer (:class:`ChaosProxy`, :class:`ChaosStreamReader`)
+fault-injection layer (:class:`ChaosProxy`, :class:`ChaosStreamReader`
+for TCP, :class:`ChaosDatagramTransport` for the UDP discovery socket)
 the test suite uses to prove each failure mode maps to a deterministic
-:class:`~repro.simnet.node.DialOutcome`.
+:class:`~repro.simnet.node.DialOutcome` or telemetry outcome.
 """
 
 from repro.resilience.breaker import BreakerState, CircuitBreaker, PeerScoreboard
 from repro.resilience.chaos import (
     ChaosConfig,
+    ChaosDatagramTransport,
     ChaosProxy,
     ChaosStreamReader,
+    DatagramChaosConfig,
+    DatagramFault,
     FaultType,
 )
 from repro.resilience.deadline import StageBudgets, StageTimeout, bounded
@@ -25,10 +29,13 @@ from repro.resilience.supervisor import DEFAULT_SUPERVISOR_POLICY, LoopSuperviso
 __all__ = [
     "BreakerState",
     "ChaosConfig",
+    "ChaosDatagramTransport",
     "ChaosProxy",
     "ChaosStreamReader",
     "CircuitBreaker",
     "DEFAULT_SUPERVISOR_POLICY",
+    "DatagramChaosConfig",
+    "DatagramFault",
     "FaultType",
     "LoopSupervisor",
     "PeerScoreboard",

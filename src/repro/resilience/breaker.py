@@ -29,13 +29,23 @@ class BreakerState(enum.Enum):
 
 
 class CircuitBreaker:
-    """Failure scoring for a single peer."""
+    """Failure scoring for a single peer.
+
+    ``on_transition(old, new)`` is an optional observability hook fired
+    whenever the breaker's state changes (including the lazy
+    OPEN → HALF_OPEN move, reported when a caller first observes it).
+    The breaker has no dependency on the telemetry package — the owner
+    wires the hook into whatever instrument it keeps.
+    """
 
     def __init__(
         self,
         failure_threshold: int = 3,
         cooldown: float = 300.0,
         clock: Optional[Callable[[], float]] = None,
+        on_transition: Optional[
+            Callable[[BreakerState, BreakerState], None]
+        ] = None,
     ) -> None:
         if failure_threshold < 1:
             raise ValueError("failure_threshold must be >= 1")
@@ -44,9 +54,20 @@ class CircuitBreaker:
         self.failure_threshold = failure_threshold
         self.cooldown = cooldown
         self._clock = clock if clock is not None else time.monotonic
+        self._on_transition = on_transition
         self.failures = 0
         self._opened_at: Optional[float] = None
         self._probing = False
+        self._reported = BreakerState.CLOSED
+
+    def _sync_state(self) -> BreakerState:
+        """Fire the transition hook if the observable state moved."""
+        state = self.state
+        if state is not self._reported:
+            old, self._reported = self._reported, state
+            if self._on_transition is not None:
+                self._on_transition(old, state)
+        return state
 
     @property
     def state(self) -> BreakerState:
@@ -62,7 +83,7 @@ class CircuitBreaker:
         In HALF_OPEN exactly one probe is admitted until it reports back
         via :meth:`record_success` / :meth:`record_failure`.
         """
-        state = self.state
+        state = self._sync_state()
         if state is BreakerState.CLOSED:
             return True
         if state is BreakerState.OPEN:
@@ -76,6 +97,7 @@ class CircuitBreaker:
         self.failures = 0
         self._opened_at = None
         self._probing = False
+        self._sync_state()
 
     def record_failure(self) -> None:
         self._probing = False
@@ -83,33 +105,51 @@ class CircuitBreaker:
             # failed probe (or failure racing the open window): the peer is
             # still down — restart the cooldown from now
             self._opened_at = self._clock()
+            self._sync_state()
             return
         self.failures += 1
         if self.failures >= self.failure_threshold:
             self._opened_at = self._clock()
+        self._sync_state()
 
 
 class PeerScoreboard:
-    """Circuit breakers keyed by node ID, lazily created."""
+    """Circuit breakers keyed by node ID, lazily created.
+
+    ``on_transition(node_id, old, new)`` mirrors the per-breaker hook
+    with the owning node ID bound in.
+    """
 
     def __init__(
         self,
         failure_threshold: int = 3,
         cooldown: float = 300.0,
         clock: Optional[Callable[[], float]] = None,
+        on_transition: Optional[
+            Callable[[bytes, BreakerState, BreakerState], None]
+        ] = None,
     ) -> None:
         self.failure_threshold = failure_threshold
         self.cooldown = cooldown
         self._clock = clock
+        self._on_transition = on_transition
         self._breakers: Dict[bytes, CircuitBreaker] = {}
 
     def breaker(self, node_id: bytes) -> CircuitBreaker:
         existing = self._breakers.get(node_id)
         if existing is None:
+            hook = None
+            if self._on_transition is not None:
+                report = self._on_transition
+
+                def hook(old, new, _id=node_id):
+                    report(_id, old, new)
+
             existing = CircuitBreaker(
                 failure_threshold=self.failure_threshold,
                 cooldown=self.cooldown,
                 clock=self._clock,
+                on_transition=hook,
             )
             self._breakers[node_id] = existing
         return existing

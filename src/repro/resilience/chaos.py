@@ -34,7 +34,7 @@ import logging
 import socket
 import struct
 from dataclasses import dataclass
-from typing import Optional, Set
+from typing import Callable, Optional, Set, Tuple
 
 logger = logging.getLogger(__name__)
 
@@ -274,3 +274,121 @@ class ChaosStreamReader:
 
     def at_eof(self) -> bool:
         return self._inner.at_eof()
+
+
+class DatagramFault(enum.Enum):
+    """What the chaos layer does to an outbound UDP datagram.
+
+    Fault → observable mapping (asserted by ``tests/test_chaos_discovery.py``):
+
+    ========== ==========================================================
+    DROP       datagram never sent → PONG/NEIGHBORS waits time out
+    DUPLICATE  datagram sent twice → receiver handles the replay
+    REORDER    consecutive pair swapped on the wire
+    CORRUPT    one byte flipped past the hash prefix → receiver counts a
+               bad packet and the reply never comes
+    ========== ==========================================================
+    """
+
+    DROP = "drop"
+    DUPLICATE = "duplicate"
+    REORDER = "reorder"
+    CORRUPT = "corrupt"
+
+
+@dataclass(frozen=True)
+class DatagramChaosConfig:
+    """One datagram fault, fully parameterised — no ambient randomness."""
+
+    fault: DatagramFault
+    #: fault only the first N outbound datagrams, then send cleanly
+    #: (0 = every datagram); lets tests drive "drop once, retry succeeds"
+    first: int = 0
+
+
+def _corrupt_datagram(data: bytes) -> bytes:
+    """Flip one byte past the 32-byte hash prefix (discv4 framing), so the
+    receiver's hash check fails and the datagram counts as a bad packet."""
+    if not data:
+        return data
+    index = 32 if len(data) > 32 else len(data) - 1
+    return data[:index] + bytes([data[index] ^ 0xFF]) + data[index + 1 :]
+
+
+class ChaosDatagramTransport:
+    """``asyncio.DatagramTransport`` wrapper faulting *outbound* datagrams.
+
+    Wraps the transport a :class:`~repro.discovery.protocol.DiscoveryService`
+    sends through; inbound datagrams are untouched (fault the other side's
+    transport to disturb them).  ``on_fault(fault_name)`` is an optional
+    observability hook — the chaos layer itself has no telemetry
+    dependency, the owner wires the hook into whatever instrument it keeps.
+    """
+
+    def __init__(
+        self,
+        inner: asyncio.DatagramTransport,
+        config: DatagramChaosConfig,
+        on_fault: Optional[Callable[[str], None]] = None,
+    ) -> None:
+        self._inner = inner
+        self.config = config
+        self.on_fault = on_fault
+        self.sent = 0
+        self.faults_injected = 0
+        self._held: Optional[Tuple[bytes, Optional[tuple]]] = None
+
+    def _record(self, fault: DatagramFault) -> None:
+        self.faults_injected += 1
+        if self.on_fault is not None:
+            self.on_fault(fault.value)
+
+    def _flush_held(self) -> None:
+        if self._held is not None:
+            data, addr = self._held
+            self._held = None
+            self._inner.sendto(data, addr)
+
+    def sendto(self, data: bytes, addr=None) -> None:
+        self.sent += 1
+        if self.config.first and self.sent > self.config.first:
+            self._flush_held()
+            self._inner.sendto(data, addr)
+            return
+        fault = self.config.fault
+        if fault is DatagramFault.DROP:
+            self._record(fault)
+            return
+        if fault is DatagramFault.DUPLICATE:
+            self._record(fault)
+            self._inner.sendto(data, addr)
+            self._inner.sendto(data, addr)
+            return
+        if fault is DatagramFault.CORRUPT:
+            self._record(fault)
+            self._inner.sendto(_corrupt_datagram(data), addr)
+            return
+        # REORDER: hold one datagram, send its successor first, then it —
+        # a deterministic pair swap
+        if self._held is None:
+            self._held = (data, addr)
+            return
+        self._record(fault)
+        held_data, held_addr = self._held
+        self._held = None
+        self._inner.sendto(data, addr)
+        self._inner.sendto(held_data, held_addr)
+
+    def close(self) -> None:
+        # a REORDER hold must not out-live the transport: deliver it late
+        # rather than never
+        self._flush_held()
+        self._inner.close()
+
+    def abort(self) -> None:
+        self._held = None
+        self._inner.abort()
+
+    def __getattr__(self, name: str):
+        # everything else (get_extra_info, is_closing, ...) passes through
+        return getattr(self._inner, name)

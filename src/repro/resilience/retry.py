@@ -74,6 +74,7 @@ class RetryPolicy:
         clock: Optional[Callable[[], float]] = None,
         sleep: Optional[Callable[[float], Awaitable[None]]] = None,
         rng: Optional[random.Random] = None,
+        on_retry: Optional[Callable[[int, float], None]] = None,
     ) -> T:
         """Run ``attempt_fn(attempt_number)`` under this policy.
 
@@ -81,7 +82,9 @@ class RetryPolicy:
         the *last* result is always returned (never raises on exhaustion —
         failure stays encoded in the result, the crawler's convention).
         Exceptions from ``attempt_fn`` propagate: classification into
-        results is the caller's job.
+        results is the caller's job.  ``on_retry(attempt, delay)`` is an
+        observability hook fired just before each backoff wait, with the
+        1-based number of the attempt that failed and the wait length.
         """
         clock = clock if clock is not None else time.monotonic
         sleep = sleep if sleep is not None else asyncio.sleep
@@ -100,4 +103,6 @@ class RetryPolicy:
                 and clock() - started + delay > self.deadline
             ):
                 return result
+            if on_retry is not None:
+                on_retry(attempt, delay)
             await sleep(delay)

@@ -22,6 +22,7 @@ from repro.rlpx.handshake import (
     initiate_handshake,
     respond_handshake,
 )
+from repro.telemetry.spans import Span
 
 #: Geth's frameReadTimeout / frameWriteTimeout (§4).
 FRAME_READ_TIMEOUT = 30.0
@@ -122,40 +123,56 @@ async def open_session(
     remote_public_key: PublicKey,
     dial_timeout: float = DIAL_TIMEOUT,
     handshake_timeout: float = HANDSHAKE_TIMEOUT,
+    trace: Optional[Span] = None,
 ) -> RLPxSession:
     """Dial ``host:port`` and run the initiator handshake.
 
     The TCP connect and the auth/ack exchange run under separate budgets,
     and every failure raises a :class:`HandshakeError` whose ``stage`` /
     ``kind`` classify it (refused vs. reset vs. stalled vs. garbage) for
-    the crawler's fine-grained dial accounting.
+    the crawler's fine-grained dial accounting.  When ``trace`` is given,
+    ``connect`` and ``rlpx`` child spans time the two phases.
     """
+    connect_span = trace.child("connect") if trace is not None else None
+
+    def _fail(span: Optional[Span], kind: str) -> None:
+        if span is not None:
+            span.finish(kind)
+
     try:
         reader, writer = await asyncio.wait_for(
             asyncio.open_connection(host, port), dial_timeout
         )
     except asyncio.TimeoutError as exc:
+        _fail(connect_span, "timeout")
         raise HandshakeError(
             f"dial {host}:{port} timed out", stage="connect", kind="timeout"
         ) from exc
     except ConnectionRefusedError as exc:
+        _fail(connect_span, "refused")
         raise HandshakeError(
             f"dial {host}:{port} refused", stage="connect", kind="refused"
         ) from exc
     except (ConnectionError, OSError) as exc:
+        _fail(connect_span, "unreachable")
         raise HandshakeError(
             f"dial {host}:{port} failed: {exc}", stage="connect", kind="unreachable"
         ) from exc
+    if connect_span is not None:
+        connect_span.finish()
+    rlpx_span = trace.child("rlpx") if trace is not None else None
     try:
         result = await asyncio.wait_for(
             initiate_handshake(reader, writer, private_key, remote_public_key),
             handshake_timeout,
         )
-    except HandshakeError:
+    except HandshakeError as exc:
         writer.close()
+        _fail(rlpx_span, exc.kind or "failed")
         raise
     except asyncio.IncompleteReadError as exc:
         writer.close()
+        _fail(rlpx_span, "truncated")
         raise HandshakeError(
             f"handshake with {host}:{port} truncated: {exc}",
             stage="rlpx",
@@ -163,14 +180,18 @@ async def open_session(
         ) from exc
     except asyncio.TimeoutError as exc:
         writer.close()
+        _fail(rlpx_span, "timeout")
         raise HandshakeError(
             f"handshake with {host}:{port} stalled", stage="rlpx", kind="timeout"
         ) from exc
     except (ConnectionError, OSError) as exc:
         writer.close()
+        _fail(rlpx_span, "reset")
         raise HandshakeError(
             f"handshake with {host}:{port} reset: {exc}", stage="rlpx", kind="reset"
         ) from exc
+    if rlpx_span is not None:
+        rlpx_span.finish()
     return RLPxSession(reader, writer, result)
 
 

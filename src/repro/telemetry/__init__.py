@@ -1,0 +1,68 @@
+"""Observability for the measurement stack: metrics, spans, and the journal.
+
+The paper's NodeFinder is first a *measurement instrument* — its figures
+are all derived from the log it kept while crawling.  ``repro.telemetry``
+makes the reproduction observable the same way, with zero dependencies
+and zero ambient state:
+
+* :class:`MetricsRegistry` — Counter / Gauge / Histogram families with
+  labeled children and fixed bucket bounds (:class:`NullRegistry` is the
+  no-op default for uninstrumented call sites);
+* :class:`Span` — per-dial traces with one child span per harvest stage,
+  feeding per-stage latency histograms;
+* :class:`EventJournal` / :func:`read_events` — the structured JSONL
+  measurement journal (versioned schema, exact round-trip);
+* :func:`render_prometheus` — text exposition of a registry;
+* :func:`summarize_journal` / :func:`summarize_snapshot` — the human
+  summary behind ``repro telemetry``;
+* :class:`Telemetry` — the facade instrumented code receives, bundling
+  registry + journal + the one injected clock (``NULL_TELEMETRY`` is the
+  shared do-nothing default).
+
+Everything here reads time only through the injected clock; the
+OBS-CLOCK reprolint family fails the build on a direct wall-clock call.
+"""
+
+from repro.telemetry.exposition import render_prometheus
+from repro.telemetry.hub import NULL_TELEMETRY, Telemetry
+from repro.telemetry.journal import (
+    SCHEMA_VERSION,
+    Event,
+    EventJournal,
+    JournalError,
+    read_events,
+)
+from repro.telemetry.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricError,
+    MetricsRegistry,
+    NullRegistry,
+    quantile_from_buckets,
+)
+from repro.telemetry.spans import Span
+from repro.telemetry.summary import summarize_journal, summarize_snapshot
+
+__all__ = [
+    "Counter",
+    "DEFAULT_BUCKETS",
+    "Event",
+    "EventJournal",
+    "Gauge",
+    "Histogram",
+    "JournalError",
+    "MetricError",
+    "MetricsRegistry",
+    "NULL_TELEMETRY",
+    "NullRegistry",
+    "SCHEMA_VERSION",
+    "Span",
+    "Telemetry",
+    "quantile_from_buckets",
+    "read_events",
+    "render_prometheus",
+    "summarize_journal",
+    "summarize_snapshot",
+]

@@ -1,0 +1,79 @@
+"""Prometheus text-format exposition for a :class:`MetricsRegistry`.
+
+Renders the version-0.0.4 text format scrapers understand: ``# HELP`` /
+``# TYPE`` headers, label values escaped (backslash, double quote,
+newline), counters keeping their ``_total`` names, and histograms
+expanded into cumulative ``_bucket{le=...}`` series plus ``_sum`` and
+``_count``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Tuple
+
+from repro.telemetry.metrics import (
+    CounterChild,
+    GaugeChild,
+    HistogramChild,
+    MetricsRegistry,
+)
+
+
+def escape_label_value(value: str) -> str:
+    return (
+        value.replace("\\", "\\\\").replace("\n", "\\n").replace('"', '\\"')
+    )
+
+
+def escape_help(text: str) -> str:
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def format_value(value: float) -> str:
+    if value != value:  # NaN
+        return "NaN"
+    if value == float("inf"):
+        return "+Inf"
+    if value == float("-inf"):
+        return "-Inf"
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def _labels_text(labels: Tuple[Tuple[str, str], ...]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(
+        f'{name}="{escape_label_value(value)}"' for name, value in labels
+    )
+    return "{" + inner + "}"
+
+
+def _sample_line(
+    name: str, labels: Tuple[Tuple[str, str], ...], value: float
+) -> str:
+    return f"{name}{_labels_text(labels)} {format_value(value)}"
+
+
+def render_prometheus(registry: MetricsRegistry) -> str:
+    """The whole registry in Prometheus text exposition format."""
+    lines: List[str] = []
+    for metric in registry.collect():
+        lines.append(f"# HELP {metric.name} {escape_help(metric.help)}")
+        lines.append(f"# TYPE {metric.name} {metric.kind}")
+        for child in metric.children:
+            lines.extend(_render_child(metric.name, child))
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def _render_child(name: str, child) -> Iterator[str]:
+    if isinstance(child, HistogramChild):
+        for bound, cumulative in child.cumulative_buckets():
+            le = "+Inf" if bound == float("inf") else format_value(bound)
+            labels = child.labels + (("le", le),)
+            yield _sample_line(f"{name}_bucket", labels, cumulative)
+        yield _sample_line(f"{name}_sum", child.labels, child.sum)
+        yield _sample_line(f"{name}_count", child.labels, child.count)
+    elif isinstance(child, (CounterChild, GaugeChild)):
+        yield _sample_line(name, child.labels, child.value)

@@ -1,0 +1,251 @@
+"""The Telemetry facade: one object bundling registry + journal + clock.
+
+Instrumented code (``nodefinder.wire``, ``nodefinder.live``,
+``discovery.protocol``, ``fullnode``) takes a :class:`Telemetry` and
+calls its ``record_*`` methods; the facade fans each observation out to
+the metrics registry and — when one is attached — the structured
+:class:`~repro.telemetry.journal.EventJournal`.  All timestamps come
+from the single injected clock (OBS-CLOCK enforces that no wall clock is
+read here), so metrics, spans, and journal share one timeline.
+
+``NULL_TELEMETRY`` is the no-op default: a :class:`NullRegistry` and no
+journal, so uninstrumented call sites pay only a method call.  There is
+no mutable global registry — whoever owns a run constructs a Telemetry
+and passes it down.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import TYPE_CHECKING, Callable, Optional
+
+from repro.telemetry.journal import Event, EventJournal
+from repro.telemetry.metrics import MetricsRegistry, NullRegistry
+from repro.telemetry.spans import Span
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.resilience.breaker import BreakerState
+    from repro.simnet.node import DialResult
+
+
+def _hex(node_id: Optional[bytes]) -> Optional[str]:
+    return node_id.hex() if node_id is not None else None
+
+
+class Telemetry:
+    """Metrics + spans + journal behind one injectable seam."""
+
+    def __init__(
+        self,
+        registry: Optional[MetricsRegistry] = None,
+        journal: Optional[EventJournal] = None,
+        clock: Optional[Callable[[], float]] = None,
+    ) -> None:
+        self.clock = clock if clock is not None else time.monotonic
+        self.registry = (
+            registry if registry is not None else MetricsRegistry(clock=self.clock)
+        )
+        self.journal = journal
+        registry_ = self.registry
+        # -- harvest / dial funnel ------------------------------------------
+        self.dials = registry_.counter(
+            "nodefinder_dials_total",
+            "harvest attempts by outcome and failing stage",
+            ("outcome", "stage"),
+        )
+        self.dial_seconds = registry_.histogram(
+            "nodefinder_dial_seconds", "wall time of one harvest attempt"
+        )
+        self.stage_seconds = registry_.histogram(
+            "nodefinder_dial_stage_seconds",
+            "wall time of one harvest stage",
+            ("stage",),
+        )
+        self.retries = registry_.counter(
+            "nodefinder_retries_total", "backoff waits before dial re-attempts"
+        )
+        self.breaker_transitions = registry_.counter(
+            "nodefinder_breaker_transitions_total",
+            "circuit-breaker state changes by destination state",
+            ("to",),
+        )
+        # -- crawler scheduler ----------------------------------------------
+        self.lookups = registry_.counter(
+            "crawler_lookups_total", "discv4 lookup rounds completed"
+        )
+        self.scheduled_dials = registry_.counter(
+            "crawler_scheduled_dials_total",
+            "dials the crawler scheduled, by connection type",
+            ("type",),
+        )
+        self.dial_failures = registry_.counter(
+            "crawler_dial_failures_total", "dials that crashed (not failed) in-loop"
+        )
+        self.breaker_skips = registry_.counter(
+            "crawler_breaker_skips_total", "dials skipped on an open breaker"
+        )
+        self.loop_crashes = registry_.counter(
+            "crawler_loop_crashes_total", "supervised crawler loop crashes"
+        )
+        self.loop_restarts = registry_.counter(
+            "crawler_loop_restarts_total", "supervised crawler loop restarts"
+        )
+        self.loop_deaths = registry_.counter(
+            "crawler_loop_deaths_total",
+            "crawler loops that died for good (restart budget spent)",
+        )
+        # -- discovery ------------------------------------------------------
+        self.discovery_datagrams = registry_.counter(
+            "discovery_datagrams_total", "raw UDP datagrams", ("direction",)
+        )
+        self.discovery_packets = registry_.counter(
+            "discovery_packets_total",
+            "decoded discv4 packets by direction and type",
+            ("direction", "type"),
+        )
+        self.discovery_bad_packets = registry_.counter(
+            "discovery_bad_packets_total", "datagrams that failed to decode"
+        )
+        self.discovery_bonds = registry_.counter(
+            "discovery_bonds_total", "endpoint-proof attempts by outcome", ("outcome",)
+        )
+        self.discovery_table_size = registry_.gauge(
+            "discovery_table_size", "entries in the Kademlia routing table"
+        )
+        self.discovery_chaos_faults = registry_.counter(
+            "discovery_chaos_faults_total",
+            "datagram faults injected by the chaos layer",
+            ("fault",),
+        )
+        # -- served side (FullNode) -----------------------------------------
+        self.inbound = registry_.counter(
+            "fullnode_inbound_total",
+            "inbound-connection milestones on a served node",
+            ("phase",),
+        )
+        self.headers_served = registry_.counter(
+            "fullnode_headers_served_total", "block headers answered to peers"
+        )
+
+    # -- primitives ---------------------------------------------------------
+
+    def start_span(self, name: str) -> Span:
+        return Span(name, self.clock)
+
+    def emit(self, event_type: str, **fields) -> None:
+        """Journal one event (no-op without an attached journal)."""
+        if self.journal is None:
+            return
+        clean = {key: value for key, value in fields.items() if value is not None}
+        self.journal.emit(Event(type=event_type, ts=self.clock(), fields=clean))
+
+    # -- harvest ------------------------------------------------------------
+
+    def record_dial(
+        self, result: "DialResult", span: Optional[Span] = None, attempt: int = 1
+    ) -> None:
+        """One completed harvest attempt: funnel counter, latency
+        histograms from the span's stage children, and the journal's
+        dial / hello / status / dao / disconnect records."""
+        outcome = result.outcome.value
+        self.dials.labels(outcome=outcome, stage=result.failure_stage or "").inc()
+        self.dial_seconds.observe(result.duration)
+        stages = {}
+        if span is not None:
+            stages = span.stage_durations()
+            for stage, duration in stages.items():
+                self.stage_seconds.labels(stage=stage).observe(duration)
+        if self.journal is None:
+            return
+        node_id = _hex(result.node_id)
+        self.emit(
+            "dial",
+            node_id=node_id,
+            ip=result.ip,
+            outcome=outcome,
+            connection_type=result.connection_type,
+            duration=result.duration,
+            latency=result.latency or None,
+            attempt=attempt,
+            stages=stages or None,
+            failure_stage=result.failure_stage,
+            failure_detail=result.failure_detail,
+        )
+        if result.got_hello:
+            self.emit(
+                "hello",
+                node_id=node_id,
+                client_id=result.client_id,
+                capabilities=[list(cap) for cap in result.capabilities or []],
+                listen_port=result.listen_port,
+            )
+        if result.got_status:
+            self.emit(
+                "status",
+                node_id=node_id,
+                network_id=result.network_id,
+                genesis_hash=_hex(result.genesis_hash),
+                best_hash=_hex(result.best_hash),
+                total_difficulty=result.total_difficulty,
+            )
+        if result.dao_side is not None:
+            self.emit("dao", node_id=node_id, verdict=result.dao_side)
+        if result.disconnect_reason is not None:
+            self.emit(
+                "disconnect",
+                node_id=node_id,
+                reason=int(result.disconnect_reason),
+                reason_name=result.disconnect_reason.name.lower().replace("_", "-"),
+                sent_by="remote",
+            )
+        elif result.outcome.value == "full-harvest":
+            # a full harvest always ends with our DISCONNECT(Client quitting)
+            self.emit(
+                "disconnect",
+                node_id=node_id,
+                reason=8,
+                reason_name="client-quitting",
+                sent_by="local",
+            )
+
+    def record_retry(
+        self, node_id: Optional[bytes], attempt: int, delay: float
+    ) -> None:
+        self.retries.inc()
+        self.emit("retry", node_id=_hex(node_id), attempt=attempt, delay=delay)
+
+    def record_breaker(
+        self, node_id: bytes, old: "BreakerState", new: "BreakerState"
+    ) -> None:
+        self.breaker_transitions.labels(to=new.value).inc()
+        self.emit(
+            "breaker", node_id=_hex(node_id), old=old.value, new=new.value
+        )
+
+    # -- crawler loops -------------------------------------------------------
+
+    def record_loop_crash(self, loop: str, error: str) -> None:
+        self.loop_crashes.inc()
+        self.emit("supervisor", loop=loop, event="crash", error=error)
+
+    def record_loop_restart(self, loop: str) -> None:
+        self.loop_restarts.inc()
+        self.emit("supervisor", loop=loop, event="restart")
+
+    def record_loop_death(self, loop: str, error: str) -> None:
+        self.loop_deaths.inc()
+        self.emit("supervisor", loop=loop, event="death", error=error)
+
+    # -- discovery -----------------------------------------------------------
+
+    def record_bond(self, node_id: bytes, ok: bool) -> None:
+        self.discovery_bonds.labels(outcome="ok" if ok else "failed").inc()
+        self.emit("bond", node_id=_hex(node_id), ok=ok)
+
+    def record_datagram_fault(self, fault: str) -> None:
+        self.discovery_chaos_faults.labels(fault=fault).inc()
+        self.emit("datagram_fault", fault=fault)
+
+
+#: shared no-op default — no journal, null registry, nothing recorded
+NULL_TELEMETRY = Telemetry(registry=NullRegistry())

@@ -1,0 +1,145 @@
+"""The structured measurement journal: one JSONL record per observation.
+
+The paper's entire analysis pipeline (§4–§6) is derived from NodeFinder's
+log of HELLO / STATUS / DISCONNECT / DAO-check events with timestamps and
+connection metadata.  :class:`EventJournal` is that log made machine
+readable: an append-only JSON-lines stream where every record carries the
+schema version, an event ``type``, a ``ts`` stamped from the *injected*
+clock, and the event's flat fields.  :func:`read_events` round-trips the
+stream back into :class:`Event` objects, so a crawl is replayable into
+the same analyses that consume a live run.
+
+Event types emitted by the instrumented stack (see DESIGN.md §7 for the
+full field tables):
+
+=================  =====================================================
+``dial``           one per harvest attempt: outcome, stages, duration
+``hello``          peer's HELLO: client_id, capabilities, listen_port
+``status``         peer's STATUS: network_id, genesis/best hash, td
+``disconnect``     reason code + name, which side sent it
+``dao``            DAO-fork verdict: supports | opposes | empty
+``bond``           discovery endpoint-proof outcome
+``breaker``        circuit-breaker state transition
+``retry``          one backoff wait before a re-attempt
+``supervisor``     crawler-loop crash / restart / death
+``datagram_fault`` chaos fault injected into the UDP discovery socket
+``inbound``        served-side milestones on a FullNode
+=================  =====================================================
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, TextIO, Union
+
+from repro.errors import ReproError
+
+#: bump when a record's meaning changes; readers reject unknown versions
+SCHEMA_VERSION = 1
+
+#: keys every record carries outside its event-specific fields
+_RESERVED = ("v", "type", "ts")
+
+
+class JournalError(ReproError):
+    """A journal stream violated the schema (bad JSON, unknown version)."""
+
+
+@dataclass(frozen=True)
+class Event:
+    """One journal record."""
+
+    type: str
+    ts: float
+    fields: Dict[str, Any] = field(default_factory=dict)
+    v: int = SCHEMA_VERSION
+
+    def to_json(self) -> str:
+        record = {"v": self.v, "type": self.type, "ts": self.ts}
+        for key in self.fields:
+            if key in _RESERVED:
+                raise JournalError(f"field {key!r} collides with a reserved key")
+        record.update(self.fields)
+        return json.dumps(record, sort_keys=True, separators=(",", ":"))
+
+    @classmethod
+    def from_json(cls, line: str, lineno: int = 0) -> "Event":
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise JournalError(f"line {lineno}: not valid JSON: {exc}") from exc
+        if not isinstance(record, dict):
+            raise JournalError(f"line {lineno}: record is not an object")
+        version = record.pop("v", None)
+        if version != SCHEMA_VERSION:
+            raise JournalError(
+                f"line {lineno}: schema version {version!r} "
+                f"(this reader speaks {SCHEMA_VERSION})"
+            )
+        try:
+            event_type = record.pop("type")
+            ts = record.pop("ts")
+        except KeyError as exc:
+            raise JournalError(f"line {lineno}: missing key {exc}") from exc
+        return cls(type=event_type, ts=float(ts), fields=record, v=version)
+
+
+class EventJournal:
+    """Append-only JSONL writer over any text stream.
+
+    The journal does not read a clock: timestamps arrive on the events,
+    stamped by the :class:`~repro.telemetry.hub.Telemetry` facade from
+    its injected clock, so the journal's timeline is exactly the
+    scheduler's timeline.
+    """
+
+    def __init__(self, stream: TextIO) -> None:
+        self._stream = stream
+        self._owns_stream = False
+        self.events_written = 0
+
+    @classmethod
+    def open(cls, path: Union[str, Path]) -> "EventJournal":
+        journal = cls(open(path, "a", encoding="utf-8"))
+        journal._owns_stream = True
+        return journal
+
+    def emit(self, event: Event) -> None:
+        self._stream.write(event.to_json() + "\n")
+        self.events_written += 1
+
+    def flush(self) -> None:
+        self._stream.flush()
+
+    def close(self) -> None:
+        self.flush()
+        if self._owns_stream:
+            self._stream.close()
+
+    def __enter__(self) -> "EventJournal":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def read_events(
+    source: Union[str, Path, TextIO, Iterable[str]],
+) -> List[Event]:
+    """Parse a journal back into events (path, open stream, or lines)."""
+    if isinstance(source, (str, Path)):
+        with open(source, "r", encoding="utf-8") as stream:
+            return _parse_lines(stream)
+    return _parse_lines(source)
+
+
+def _parse_lines(lines: Iterable[str]) -> List[Event]:
+    events = []
+    for lineno, line in enumerate(lines, start=1):
+        line = line.strip()
+        if not line:
+            continue
+        events.append(Event.from_json(line, lineno))
+    return events

@@ -1,0 +1,222 @@
+"""Human summaries of a crawl: dial funnel, stage latencies, health.
+
+Feeds the ``repro telemetry`` CLI subcommand from either input shape —
+a JSONL measurement journal (replayed into per-event aggregates) or a
+:meth:`MetricsRegistry.snapshot` JSON dump (read straight off the
+counters and histogram buckets).
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from typing import Dict, Iterable, List, Sequence
+
+from repro.telemetry.journal import Event
+from repro.telemetry.metrics import quantile_from_buckets
+
+
+def _format_table(title: str, headers: Sequence[str], rows: List[Sequence]) -> str:
+    # analysis imports nodefinder, which (transitively) imports telemetry;
+    # deferring this import keeps the package cycle-free at import time
+    from repro.analysis.render import format_table
+
+    return format_table(title, headers, rows)
+
+
+_QUANTILES = (0.5, 0.9, 0.99)
+
+#: §4 funnel order: the stages a dial passes through, worst first
+_OUTCOME_ORDER = (
+    "full-harvest",
+    "hello-then-disconnect",
+    "hello-no-status",
+    "disconnect-before-hello",
+    "rlpx-failed",
+    "refused",
+    "timeout",
+)
+
+
+def _funnel_rows(counts: Dict[str, int]) -> List[Sequence]:
+    total = sum(counts.values()) or 1
+    rows = []
+    for outcome in _OUTCOME_ORDER:
+        if outcome in counts:
+            rows.append([outcome, counts[outcome], f"{counts[outcome] / total:.1%}"])
+    for outcome in sorted(set(counts) - set(_OUTCOME_ORDER)):
+        rows.append([outcome, counts[outcome], f"{counts[outcome] / total:.1%}"])
+    return rows
+
+
+def _quantile_rows(
+    per_stage: Dict[str, "_Quantiler"],
+) -> List[Sequence]:
+    rows = []
+    for stage in ("connect", "rlpx", "hello", "status", "dao"):
+        if stage in per_stage:
+            rows.append([stage] + per_stage.pop(stage).row())
+    for stage in sorted(per_stage):
+        rows.append([stage] + per_stage[stage].row())
+    return rows
+
+
+class _Quantiler:
+    """Exact small-sample quantiles (journal path) in one shape."""
+
+    def __init__(self) -> None:
+        self.values: List[float] = []
+
+    def add(self, value: float) -> None:
+        self.values.append(value)
+
+    def quantile(self, q: float) -> float:
+        ordered = sorted(self.values)
+        if not ordered:
+            return 0.0
+        index = min(len(ordered) - 1, int(q * len(ordered)))
+        return ordered[index]
+
+    def row(self) -> List[str]:
+        return [f"{self.quantile(q) * 1000:.1f}ms" for q in _QUANTILES]
+
+
+class _BucketQuantiler(_Quantiler):
+    """Bucket-interpolated quantiles (snapshot path) in the same shape."""
+
+    def __init__(
+        self, bounds: Sequence[float], counts: Sequence[float], inf: float
+    ) -> None:
+        super().__init__()
+        self._bounds = list(bounds)
+        self._counts = list(counts)
+        self._inf = inf
+
+    def quantile(self, q: float) -> float:
+        return quantile_from_buckets(self._bounds, self._counts, self._inf, q)
+
+
+def summarize_journal(events: Iterable[Event]) -> str:
+    """Render the crawl summary from a measurement journal."""
+    funnel: Counter = Counter()
+    stage_latency: Dict[str, _Quantiler] = defaultdict(_Quantiler)
+    breaker: Counter = Counter()
+    supervisor: Counter = Counter()
+    retries = 0
+    hellos = statuses = disconnects = daos = bonds_ok = bonds_failed = 0
+    chaos: Counter = Counter()
+    for event in events:
+        if event.type == "dial":
+            funnel[event.fields.get("outcome", "?")] += 1
+            for stage, duration in (event.fields.get("stages") or {}).items():
+                stage_latency[stage].add(duration)
+        elif event.type == "hello":
+            hellos += 1
+        elif event.type == "status":
+            statuses += 1
+        elif event.type == "disconnect":
+            disconnects += 1
+        elif event.type == "dao":
+            daos += 1
+        elif event.type == "retry":
+            retries += 1
+        elif event.type == "breaker":
+            breaker[event.fields.get("new", "?")] += 1
+        elif event.type == "supervisor":
+            supervisor[event.fields.get("event", "?")] += 1
+        elif event.type == "bond":
+            if event.fields.get("ok"):
+                bonds_ok += 1
+            else:
+                bonds_failed += 1
+        elif event.type == "datagram_fault":
+            chaos[event.fields.get("fault", "?")] += 1
+    sections = [
+        _format_table(
+            "Dial funnel", ["outcome", "dials", "share"], _funnel_rows(funnel)
+        ),
+        _format_table(
+            "Stage latency",
+            ["stage", "p50", "p90", "p99"],
+            _quantile_rows(dict(stage_latency)),
+        ),
+        _health_text(breaker, supervisor, retries),
+        (
+            f"events: {hellos} hello, {statuses} status, {disconnects} "
+            f"disconnect, {daos} dao-verdict; bonds {bonds_ok} ok / "
+            f"{bonds_failed} failed"
+        ),
+    ]
+    if chaos:
+        sections.append(
+            "chaos faults injected: "
+            + ", ".join(f"{fault}={count}" for fault, count in sorted(chaos.items()))
+        )
+    return "\n\n".join(sections)
+
+
+def _health_text(
+    breaker: Counter, supervisor: Counter, retries: int
+) -> str:
+    breaker_text = (
+        ", ".join(f"→{state}: {count}" for state, count in sorted(breaker.items()))
+        or "no transitions"
+    )
+    return (
+        f"breakers: {breaker_text}\n"
+        f"supervisor: {supervisor.get('crash', 0)} crashes, "
+        f"{supervisor.get('restart', 0)} restarts, "
+        f"{supervisor.get('death', 0)} loop deaths\n"
+        f"retries: {retries} backoff waits"
+    )
+
+
+def summarize_snapshot(snapshot: dict) -> str:
+    """Render the crawl summary from a registry snapshot JSON dump."""
+    metrics = {metric["name"]: metric for metric in snapshot.get("metrics", [])}
+
+    funnel: Dict[str, int] = Counter()
+    for series in metrics.get("nodefinder_dials_total", {}).get("series", []):
+        outcome = series["labels"].get("outcome", "?")
+        funnel[outcome] += int(series["value"])
+
+    stage_latency: Dict[str, _Quantiler] = {}
+    for series in metrics.get("nodefinder_dial_stage_seconds", {}).get("series", []):
+        bounds = [bound for bound, _ in series["buckets"]]
+        counts = [count for _, count in series["buckets"]]
+        stage_latency[series["labels"].get("stage", "?")] = _BucketQuantiler(
+            bounds, counts, series["inf"]
+        )
+
+    breaker: Counter = Counter()
+    for series in metrics.get("nodefinder_breaker_transitions_total", {}).get(
+        "series", []
+    ):
+        breaker[series["labels"].get("to", "?")] += int(series["value"])
+
+    supervisor: Counter = Counter()
+    for key, name in (
+        ("crash", "crawler_loop_crashes_total"),
+        ("restart", "crawler_loop_restarts_total"),
+        ("death", "crawler_loop_deaths_total"),
+    ):
+        for series in metrics.get(name, {}).get("series", []):
+            supervisor[key] += int(series["value"])
+
+    retries = sum(
+        int(series["value"])
+        for series in metrics.get("nodefinder_retries_total", {}).get("series", [])
+    )
+
+    return "\n\n".join(
+        [
+            _format_table(
+                "Dial funnel", ["outcome", "dials", "share"], _funnel_rows(funnel)
+            ),
+            _format_table(
+                "Stage latency",
+                ["stage", "p50", "p90", "p99"],
+                _quantile_rows(stage_latency),
+            ),
+            _health_text(breaker, supervisor, retries),
+        ]
+    )

@@ -1,0 +1,17 @@
+"""Fixture: telemetry code calling wall clocks — every call fires OBS-CLOCK."""
+
+import time
+from datetime import datetime
+from time import monotonic
+
+
+def stamp_event():
+    return time.time()
+
+
+def span_start():
+    return monotonic()
+
+
+def journal_date():
+    return datetime.utcnow()

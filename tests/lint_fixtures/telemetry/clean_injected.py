@@ -1,0 +1,21 @@
+"""Fixture: the sanctioned idiom — wall clocks referenced, never called.
+
+The default clock is ``time.monotonic`` *by reference*; every read goes
+through the injected callable.  OBS-CLOCK must stay silent here.
+"""
+
+import time
+
+
+class Recorder:
+    def __init__(self, clock=None):
+        # reference, not a call: this is how defaults are wired
+        self.clock = clock if clock is not None else time.monotonic
+
+    def stamp(self):
+        return self.clock()
+
+
+def span(clock=time.monotonic):
+    started = clock()
+    return lambda: clock() - started

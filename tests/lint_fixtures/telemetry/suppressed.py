@@ -1,0 +1,20 @@
+"""Fixture: suppression-comment behaviour for OBS-CLOCK.
+
+Two violations are suppressed (trailing comment, guard-comment line);
+the third carries a disable for the WRONG code and must still fire.
+"""
+
+import time
+
+
+def suppressed_inline():
+    return time.monotonic()  # reprolint: disable=OBS-CLOCK
+
+
+def suppressed_by_guard_line():
+    # reprolint: disable=OBS-CLOCK
+    return time.time()
+
+
+def still_fires():
+    return time.time()  # reprolint: disable=SIM-DET

@@ -1,0 +1,234 @@
+"""UDP discovery chaos: every injected datagram fault maps to one
+deterministic, observable telemetry outcome.
+
+The TCP chaos layer (``test_chaos_harvest``) pins stream faults to
+DialOutcomes; this file does the same for the discovery socket — a
+:class:`ChaosDatagramTransport` wrapped around one side's outbound UDP
+path, with the effect asserted on real sockets *and* on the telemetry
+counters/journal the fault must land in.
+"""
+
+import asyncio
+import io
+
+import pytest
+
+from repro.crypto.keys import PrivateKey
+from repro.discovery.enode import ENode
+from repro.discovery.protocol import DiscoveryService
+from repro.resilience import (
+    ChaosDatagramTransport,
+    DatagramChaosConfig,
+    DatagramFault,
+    RetryPolicy,
+)
+from repro.resilience.chaos import _corrupt_datagram
+from repro.telemetry import EventJournal, Telemetry, read_events
+
+pytestmark = pytest.mark.chaos
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+def make_telemetry():
+    """A real registry plus an in-memory journal, so a test can assert on
+    both ends of one fault."""
+    stream = io.StringIO()
+    return Telemetry(journal=EventJournal(stream)), stream
+
+
+async def pair(chaos=None, telemetry=None, retry=None):
+    """Two bound discovery services; ``a`` optionally faulted outbound."""
+    a = DiscoveryService(
+        PrivateKey(5001),
+        chaos=chaos,
+        telemetry=telemetry if telemetry is not None else Telemetry(),
+        retry_policy=retry,
+    )
+    b = DiscoveryService(PrivateKey(5002))
+    await a.listen()
+    await b.listen()
+    return a, b
+
+
+def fault_count(telemetry, fault):
+    return telemetry.discovery_chaos_faults.labels(fault=fault).value
+
+
+class TestFakeTransport:
+    """Wire-order semantics, provable without sockets."""
+
+    class FakeTransport:
+        def __init__(self):
+            self.sent = []
+            self.closed = False
+
+        def sendto(self, data, addr=None):
+            self.sent.append(data)
+
+        def close(self):
+            self.closed = True
+
+    def test_drop_sends_nothing(self):
+        fake = self.FakeTransport()
+        chaos = ChaosDatagramTransport(
+            fake, DatagramChaosConfig(DatagramFault.DROP)
+        )
+        chaos.sendto(b"one", None)
+        chaos.sendto(b"two", None)
+        assert fake.sent == []
+        assert chaos.faults_injected == 2
+
+    def test_drop_first_n_then_clean(self):
+        fake = self.FakeTransport()
+        chaos = ChaosDatagramTransport(
+            fake, DatagramChaosConfig(DatagramFault.DROP, first=1)
+        )
+        chaos.sendto(b"lost", None)
+        chaos.sendto(b"kept", None)
+        assert fake.sent == [b"kept"]
+        assert chaos.faults_injected == 1
+
+    def test_duplicate_sends_twice(self):
+        fake = self.FakeTransport()
+        chaos = ChaosDatagramTransport(
+            fake, DatagramChaosConfig(DatagramFault.DUPLICATE)
+        )
+        chaos.sendto(b"ping", None)
+        assert fake.sent == [b"ping", b"ping"]
+
+    def test_reorder_swaps_consecutive_pair(self):
+        fake = self.FakeTransport()
+        chaos = ChaosDatagramTransport(
+            fake, DatagramChaosConfig(DatagramFault.REORDER)
+        )
+        chaos.sendto(b"first", None)
+        assert fake.sent == []  # held back
+        chaos.sendto(b"second", None)
+        assert fake.sent == [b"second", b"first"]
+        assert chaos.faults_injected == 1
+
+    def test_reorder_hold_flushed_on_close(self):
+        fake = self.FakeTransport()
+        chaos = ChaosDatagramTransport(
+            fake, DatagramChaosConfig(DatagramFault.REORDER)
+        )
+        chaos.sendto(b"held", None)
+        chaos.close()
+        assert fake.sent == [b"held"]  # late, not lost
+        assert fake.closed
+
+    def test_corrupt_flips_byte_past_hash_prefix(self):
+        original = bytes(range(64))
+        corrupted = _corrupt_datagram(original)
+        assert len(corrupted) == len(original)
+        assert corrupted[:32] == original[:32]
+        assert corrupted[32] == original[32] ^ 0xFF
+        assert corrupted[33:] == original[33:]
+
+    def test_on_fault_hook_fires_with_fault_name(self):
+        names = []
+        fake = self.FakeTransport()
+        chaos = ChaosDatagramTransport(
+            fake,
+            DatagramChaosConfig(DatagramFault.DROP),
+            on_fault=names.append,
+        )
+        chaos.sendto(b"x", None)
+        assert names == ["drop"]
+
+
+class TestDiscoveryFaults:
+    """Real sockets: fault on one side, telemetry verdict on both."""
+
+    def test_drop_times_out_ping_and_counts_fault(self):
+        async def scenario():
+            telemetry, stream = make_telemetry()
+            a, b = await pair(
+                chaos=DatagramChaosConfig(DatagramFault.DROP),
+                telemetry=telemetry,
+            )
+            a.reply_timeout = 0.2
+            try:
+                pong = await a.ping_addr((b.host, b.port))
+                assert pong is None  # the PING never left the host
+                assert b.stats["packets_received"] == 0
+                assert fault_count(telemetry, "drop") == 1
+                events = list(read_events(stream.getvalue().splitlines()))
+                assert [e.type for e in events] == ["datagram_fault"]
+                assert events[0].fields["fault"] == "drop"
+            finally:
+                a.close()
+                b.close()
+
+        run(scenario())
+
+    def test_drop_first_recovers_under_bond_retry(self):
+        async def scenario():
+            telemetry, _ = make_telemetry()
+            a, b = await pair(
+                chaos=DatagramChaosConfig(DatagramFault.DROP, first=1),
+                telemetry=telemetry,
+                retry=RetryPolicy(max_attempts=3, base_delay=0.05),
+            )
+            a.reply_timeout = 0.2
+            target = ENode(
+                node_id=b.node_id, ip=b.host, udp_port=b.port, tcp_port=b.port
+            )
+            try:
+                assert await a.bond(target)  # first PING dropped, retry lands
+                assert fault_count(telemetry, "drop") == 1
+                assert (
+                    telemetry.discovery_bonds.labels(outcome="ok").value == 1
+                )
+            finally:
+                a.close()
+                b.close()
+
+        run(scenario())
+
+    def test_duplicate_delivers_twice_and_still_bonds(self):
+        async def scenario():
+            telemetry, _ = make_telemetry()
+            a, b = await pair(
+                chaos=DatagramChaosConfig(DatagramFault.DUPLICATE),
+                telemetry=telemetry,
+            )
+            try:
+                pong = await a.ping_addr((b.host, b.port))
+                assert pong is not None  # replays don't break the exchange
+                # the duplicate may still sit in b's socket buffer when the
+                # first PONG resolves the waiter; let it drain
+                await asyncio.sleep(0.05)
+                assert b.stats["packets_received"] == 2
+                assert b.stats["bad_packets"] == 0
+                assert fault_count(telemetry, "duplicate") == 1
+            finally:
+                a.close()
+                b.close()
+
+        run(scenario())
+
+    def test_corrupt_counts_bad_packet_and_gets_no_reply(self):
+        async def scenario():
+            telemetry, stream = make_telemetry()
+            a, b = await pair(
+                chaos=DatagramChaosConfig(DatagramFault.CORRUPT),
+                telemetry=telemetry,
+            )
+            a.reply_timeout = 0.2
+            try:
+                pong = await a.ping_addr((b.host, b.port))
+                assert pong is None  # the mangled PING fails b's hash check
+                assert b.stats["packets_received"] == 1
+                assert b.stats["bad_packets"] == 1
+                assert fault_count(telemetry, "corrupt") == 1
+                events = list(read_events(stream.getvalue().splitlines()))
+                assert [e.type for e in events] == ["datagram_fault"]
+            finally:
+                a.close()
+                b.close()
+
+        run(scenario())

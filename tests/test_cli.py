@@ -12,7 +12,7 @@ class TestParser:
 
     def test_all_commands_registered(self):
         parser = build_parser()
-        for command in ("demo", "simulate", "casestudy", "distance"):
+        for command in ("demo", "simulate", "casestudy", "distance", "telemetry"):
             args = parser.parse_args([command] if command != "demo" else ["demo"])
             assert callable(args.func)
 
@@ -42,3 +42,27 @@ class TestCommands:
         assert main(["demo", "--nodes", "2", "--blocks", "4"]) == 0
         out = capsys.readouterr().out
         assert "harvested 2 STATUS messages" in out
+
+    def test_demo_writes_journal_then_telemetry_reads_it(self, capsys, tmp_path):
+        journal = tmp_path / "crawl.jsonl"
+        metrics = tmp_path / "metrics.json"
+        assert main([
+            "demo", "--nodes", "2", "--blocks", "4",
+            "--journal", str(journal), "--metrics", str(metrics),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "measurement journal" in out and "metrics snapshot" in out
+        assert journal.exists() and metrics.exists()
+
+        assert main(["telemetry", "--journal", str(journal)]) == 0
+        out = capsys.readouterr().out
+        assert "Dial funnel" in out and "full-harvest" in out
+        assert "Stage latency" in out
+
+        assert main(["telemetry", "--metrics", str(metrics)]) == 0
+        out = capsys.readouterr().out
+        assert "Dial funnel" in out and "full-harvest" in out
+
+    def test_telemetry_requires_an_input(self, capsys):
+        assert main(["telemetry"]) == 2
+        assert "telemetry:" in capsys.readouterr().err

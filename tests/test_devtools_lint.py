@@ -31,6 +31,7 @@ RULE_CODES = {
     "EXC-SILENT",
     "CRYPTO-BYTES",
     "RETRY-SAFE",
+    "OBS-CLOCK",
 }
 
 
@@ -57,6 +58,7 @@ FIRING = {
     "exc_silent/bad_silent.py": {"EXC-SILENT": 2},
     "crypto/bad_mixing.py": {"CRYPTO-BYTES": 4},
     "nodefinder/bad_raw_await.py": {"RETRY-SAFE": 3},
+    "telemetry/bad_wallclock.py": {"OBS-CLOCK": 3},
 }
 
 CLEAN = [
@@ -66,6 +68,7 @@ CLEAN = [
     "exc_silent/clean_narrow.py",
     "crypto/clean_bytes.py",
     "nodefinder/clean_deadline.py",
+    "telemetry/clean_injected.py",
 ]
 
 
@@ -87,13 +90,17 @@ def test_clean_fixture_stays_clean(relative):
 # -- suppression comments ---------------------------------------------------
 
 
-def test_suppression_comments():
-    findings = lint_paths([FIXTURES / "simnet" / "suppressed.py"])
+@pytest.mark.parametrize(
+    "relative, code",
+    [("simnet/suppressed.py", "SIM-DET"), ("telemetry/suppressed.py", "OBS-CLOCK")],
+)
+def test_suppression_comments(relative, code):
+    findings = lint_paths([FIXTURES / relative])
     # two of the three violations are suppressed; the third carries a
     # disable for a different family and must still fire
     assert len(findings) == 1
-    assert findings[0].code == "SIM-DET"
-    source_lines = (FIXTURES / "simnet" / "suppressed.py").read_text().splitlines()
+    assert findings[0].code == code
+    source_lines = (FIXTURES / relative).read_text().splitlines()
     assert "still_fires" in source_lines[findings[0].line - 2]
 
 

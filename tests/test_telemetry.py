@@ -1,0 +1,498 @@
+"""Unit coverage for ``repro.telemetry``: metrics math, exposition format,
+journal round-trip, spans, and the facade's event mapping."""
+
+import io
+import math
+
+import pytest
+
+from repro.resilience.breaker import BreakerState, CircuitBreaker
+from repro.simnet.node import DialOutcome, DialResult
+from repro.telemetry import (
+    DEFAULT_BUCKETS,
+    Event,
+    EventJournal,
+    JournalError,
+    MetricError,
+    MetricsRegistry,
+    NullRegistry,
+    SCHEMA_VERSION,
+    Span,
+    Telemetry,
+    quantile_from_buckets,
+    read_events,
+    render_prometheus,
+    summarize_journal,
+    summarize_snapshot,
+)
+
+
+class FakeClock:
+    def __init__(self, now=100.0):
+        self.now = now
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+# -- metrics ----------------------------------------------------------------
+
+
+class TestMetrics:
+    def test_counter_counts_and_rejects_decrease(self):
+        registry = MetricsRegistry(clock=FakeClock())
+        counter = registry.counter("c_total", "help")
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == 3.5
+        with pytest.raises(MetricError):
+            counter.inc(-1)
+
+    def test_labeled_children_are_independent(self):
+        registry = MetricsRegistry(clock=FakeClock())
+        dials = registry.counter("dials_total", "", ("outcome", "stage"))
+        dials.labels(outcome="full-harvest", stage="").inc()
+        dials.labels(outcome="timeout", stage="connect").inc(2)
+        assert dials.labels(outcome="full-harvest", stage="").value == 1
+        assert dials.labels(outcome="timeout", stage="connect").value == 2
+
+    def test_label_mismatch_raises(self):
+        registry = MetricsRegistry(clock=FakeClock())
+        dials = registry.counter("dials_total", "", ("outcome",))
+        with pytest.raises(MetricError):
+            dials.labels(stage="connect")
+        with pytest.raises(MetricError):
+            dials.inc()  # labeled family has no default child
+
+    def test_reregistration_same_shape_returns_same_family(self):
+        registry = MetricsRegistry(clock=FakeClock())
+        first = registry.counter("c_total", "", ("a",))
+        again = registry.counter("c_total", "", ("a",))
+        assert first is again
+
+    def test_reregistration_different_kind_or_labels_raises(self):
+        registry = MetricsRegistry(clock=FakeClock())
+        registry.counter("c_total", "", ("a",))
+        with pytest.raises(MetricError):
+            registry.gauge("c_total")
+        with pytest.raises(MetricError):
+            registry.counter("c_total", "", ("b",))
+
+    def test_invalid_names_rejected(self):
+        registry = MetricsRegistry(clock=FakeClock())
+        with pytest.raises(MetricError):
+            registry.counter("0bad")
+        with pytest.raises(MetricError):
+            registry.counter("ok_total", "", ("bad-label",))
+
+    def test_gauge_set_inc_dec(self):
+        registry = MetricsRegistry(clock=FakeClock())
+        gauge = registry.gauge("table_size")
+        gauge.set(16)
+        gauge.inc()
+        gauge.dec(3)
+        assert gauge.value == 14
+
+
+class TestHistogramBuckets:
+    def test_buckets_are_upper_inclusive(self):
+        registry = MetricsRegistry(clock=FakeClock())
+        hist = registry.histogram("h", buckets=(0.1, 1.0))
+        child = hist.labels()
+        child.observe(0.1)   # le=0.1 takes exactly 0.1
+        child.observe(0.10000001)
+        child.observe(1.0)   # le=1.0 takes exactly 1.0
+        child.observe(2.0)   # +Inf
+        assert child.bucket_counts == [1, 2]
+        assert child.inf_count == 1
+        assert child.count == 4
+        assert child.sum == pytest.approx(3.2, abs=1e-6)
+
+    def test_cumulative_buckets_end_with_inf(self):
+        registry = MetricsRegistry(clock=FakeClock())
+        hist = registry.histogram("h", buckets=(0.1, 1.0))
+        child = hist.labels()
+        for value in (0.05, 0.5, 5.0):
+            child.observe(value)
+        assert list(child.cumulative_buckets()) == [
+            (0.1, 1),
+            (1.0, 2),
+            (float("inf"), 3),
+        ]
+
+    def test_duplicate_bounds_rejected(self):
+        registry = MetricsRegistry(clock=FakeClock())
+        with pytest.raises(MetricError):
+            registry.histogram("h", buckets=(0.1, 0.1))
+
+    def test_default_buckets_sorted(self):
+        assert list(DEFAULT_BUCKETS) == sorted(DEFAULT_BUCKETS)
+
+
+class TestQuantileMath:
+    def test_interpolates_inside_winning_bucket(self):
+        # 4 observations: 1 in (0, 0.1], 3 in (0.1, 1.0]
+        # p50 → rank 2 → second bucket, 1/3 through it
+        value = quantile_from_buckets([0.1, 1.0], [1, 3], 0, 0.5)
+        assert value == pytest.approx(0.1 + (1.0 - 0.1) * (2 - 1) / 3)
+
+    def test_inf_bucket_clamps_to_highest_bound(self):
+        assert quantile_from_buckets([0.1, 1.0], [1, 0], 9, 0.99) == 1.0
+
+    def test_empty_histogram_is_zero(self):
+        assert quantile_from_buckets([0.1], [0], 0, 0.5) == 0.0
+
+    def test_quantile_bounds_checked(self):
+        with pytest.raises(MetricError):
+            quantile_from_buckets([0.1], [1], 0, 1.5)
+
+    def test_exact_boundary_rank(self):
+        # all mass in the first bucket: p100 interpolates to its top edge
+        assert quantile_from_buckets([0.2, 1.0], [4, 0], 0, 1.0) == pytest.approx(0.2)
+
+
+# -- exposition -------------------------------------------------------------
+
+
+class TestExposition:
+    def test_counter_keeps_total_suffix_and_help_type(self):
+        registry = MetricsRegistry(clock=FakeClock())
+        registry.counter("dials_total", "dial attempts").inc(3)
+        text = render_prometheus(registry)
+        assert "# HELP dials_total dial attempts\n" in text
+        assert "# TYPE dials_total counter\n" in text
+        assert "\ndials_total 3\n" in text
+
+    def test_label_values_escaped(self):
+        registry = MetricsRegistry(clock=FakeClock())
+        counter = registry.counter("c_total", "", ("client",))
+        counter.labels(client='Geth\\v1 "quoted"\nnewline').inc()
+        text = render_prometheus(registry)
+        assert (
+            'c_total{client="Geth\\\\v1 \\"quoted\\"\\nnewline"} 1' in text
+        )
+
+    def test_help_text_escaped(self):
+        registry = MetricsRegistry(clock=FakeClock())
+        registry.counter("c_total", "line\nbreak \\ slash")
+        text = render_prometheus(registry)
+        assert "# HELP c_total line\\nbreak \\\\ slash" in text
+
+    def test_histogram_expands_to_bucket_sum_count(self):
+        registry = MetricsRegistry(clock=FakeClock())
+        hist = registry.histogram("lat_seconds", "", ("stage",), buckets=(0.1, 1.0))
+        hist.labels(stage="hello").observe(0.05)
+        hist.labels(stage="hello").observe(5.0)
+        text = render_prometheus(registry)
+        assert 'lat_seconds_bucket{stage="hello",le="0.1"} 1' in text
+        assert 'lat_seconds_bucket{stage="hello",le="1"} 1' in text
+        assert 'lat_seconds_bucket{stage="hello",le="+Inf"} 2' in text
+        assert 'lat_seconds_sum{stage="hello"} 5.05' in text
+        assert 'lat_seconds_count{stage="hello"} 2' in text
+
+    def test_nan_and_infinities_formatted(self):
+        registry = MetricsRegistry(clock=FakeClock())
+        gauge = registry.gauge("g")
+        gauge.set(float("inf"))
+        assert "\ng +Inf\n" in render_prometheus(registry)
+        gauge.set(float("nan"))
+        assert "\ng NaN\n" in render_prometheus(registry)
+
+    def test_empty_registry_renders_empty(self):
+        assert render_prometheus(MetricsRegistry(clock=FakeClock())) == ""
+
+
+# -- journal ----------------------------------------------------------------
+
+
+class TestJournal:
+    def test_round_trip_exact(self):
+        events = [
+            Event(type="dial", ts=1.5, fields={"outcome": "full-harvest", "n": 3}),
+            Event(type="hello", ts=2.0, fields={"client_id": "Geth/v1.7.3"}),
+            Event(type="disconnect", ts=2.5, fields={"reason": 4}),
+        ]
+        stream = io.StringIO()
+        with EventJournal(stream) as journal:
+            for event in events:
+                journal.emit(event)
+            assert journal.events_written == 3
+        assert read_events(stream.getvalue().splitlines()) == events
+
+    def test_file_round_trip(self, tmp_path):
+        path = tmp_path / "crawl.jsonl"
+        with EventJournal.open(path) as journal:
+            journal.emit(Event(type="dao", ts=9.0, fields={"verdict": "supports"}))
+        [event] = read_events(path)
+        assert event.type == "dao"
+        assert event.fields == {"verdict": "supports"}
+        assert event.v == SCHEMA_VERSION
+
+    def test_records_carry_schema_version(self):
+        line = Event(type="dial", ts=0.0).to_json()
+        assert f'"v":{SCHEMA_VERSION}' in line
+
+    def test_unknown_version_rejected(self):
+        line = '{"v":99,"type":"dial","ts":0}'
+        with pytest.raises(JournalError, match="schema version"):
+            Event.from_json(line)
+
+    def test_reserved_key_collision_rejected(self):
+        event = Event(type="dial", ts=0.0, fields={"ts": 1.0})
+        with pytest.raises(JournalError, match="reserved"):
+            event.to_json()
+
+    def test_bad_json_reports_line_number(self):
+        with pytest.raises(JournalError, match="line 2"):
+            read_events(['{"v":1,"type":"a","ts":0}', "{nope"])
+
+    def test_blank_lines_skipped(self):
+        lines = ["", '{"v":1,"type":"a","ts":0}', "   "]
+        assert len(read_events(lines)) == 1
+
+
+# -- spans ------------------------------------------------------------------
+
+
+class TestSpans:
+    def test_children_time_their_stage(self):
+        clock = FakeClock()
+        span = Span("dial", clock)
+        connect = span.child("connect")
+        clock.advance(0.2)
+        connect.finish()
+        hello = span.child("hello")
+        clock.advance(0.3)
+        hello.finish()
+        clock.advance(0.1)
+        total = span.finish("full-harvest")
+        assert total == pytest.approx(0.6)
+        assert span.stage_durations() == {
+            "connect": pytest.approx(0.2),
+            "hello": pytest.approx(0.3),
+        }
+        assert span.outcome == "full-harvest"
+
+    def test_finish_closes_open_children_with_same_outcome(self):
+        clock = FakeClock()
+        span = Span("dial", clock)
+        span.child("status")  # left open, as an exception path would
+        clock.advance(0.4)
+        span.finish("hello-no-status")
+        [child] = span.children
+        assert child.outcome == "hello-no-status"
+        assert child.duration == pytest.approx(0.4)
+
+    def test_finish_is_idempotent(self):
+        clock = FakeClock()
+        span = Span("dial", clock)
+        clock.advance(0.1)
+        first = span.finish()
+        clock.advance(5.0)
+        assert span.finish("ignored") == first
+        assert span.outcome == "ok"
+
+
+# -- null objects -----------------------------------------------------------
+
+
+class TestNullRegistry:
+    def test_everything_noops_and_reads_zero(self):
+        registry = NullRegistry()
+        counter = registry.counter("c_total", "", ("a",))
+        counter.inc()
+        counter.labels(a="x").inc(5)
+        hist = registry.histogram("h")
+        hist.observe(1.0)
+        assert counter.value == 0.0
+        assert hist.quantile(0.5) == 0.0
+        assert registry.snapshot() == {"metrics": []}
+        assert render_prometheus(registry) == ""
+
+
+# -- facade -----------------------------------------------------------------
+
+
+def full_result(**overrides):
+    fields = dict(
+        timestamp=0.0,
+        node_id=b"\x01" * 64,
+        ip="127.0.0.1",
+        tcp_port=30303,
+        connection_type="dynamic-dial",
+        outcome=DialOutcome.FULL_HARVEST,
+        duration=0.5,
+        client_id="Geth/v1.7.3",
+        capabilities=[("eth", 63)],
+        listen_port=30303,
+        network_id=1,
+        genesis_hash=b"\x02" * 32,
+        total_difficulty=17,
+        best_hash=b"\x03" * 32,
+        dao_side="supports",
+    )
+    fields.update(overrides)
+    return DialResult(**fields)
+
+
+class TestTelemetryFacade:
+    def make(self):
+        clock = FakeClock()
+        stream = io.StringIO()
+        telemetry = Telemetry(journal=EventJournal(stream), clock=clock)
+        return telemetry, stream, clock
+
+    def test_full_harvest_emits_whole_event_family(self):
+        telemetry, stream, clock = self.make()
+        span = telemetry.start_span("dial")
+        stage = span.child("hello")
+        clock.advance(0.25)
+        stage.finish()
+        result = full_result(duration=span.finish("full-harvest"))
+        telemetry.record_dial(result, span=span)
+        types = [e.type for e in read_events(stream.getvalue().splitlines())]
+        assert types == ["dial", "hello", "status", "dao", "disconnect"]
+        events = {e.type: e for e in read_events(stream.getvalue().splitlines())}
+        assert events["dial"].fields["outcome"] == "full-harvest"
+        assert events["dial"].fields["stages"] == {"hello": pytest.approx(0.25)}
+        assert events["dial"].fields["node_id"] == "01" * 64
+        # a full harvest ends with our own Client-quitting DISCONNECT
+        assert events["disconnect"].fields["sent_by"] == "local"
+        assert events["disconnect"].fields["reason"] == 8
+
+    def test_funnel_counter_carries_outcome_and_stage(self):
+        telemetry, _, _ = self.make()
+        telemetry.record_dial(
+            full_result(
+                outcome=DialOutcome.TIMEOUT,
+                client_id=None,
+                network_id=None,
+                dao_side=None,
+                failure_stage="connect",
+                failure_detail="stalled",
+            )
+        )
+        assert (
+            telemetry.dials.labels(outcome="timeout", stage="connect").value == 1
+        )
+        assert telemetry.dial_seconds.labels().count == 1
+
+    def test_stage_histograms_fed_from_span_children(self):
+        telemetry, _, clock = self.make()
+        span = telemetry.start_span("dial")
+        child = span.child("connect")
+        clock.advance(0.03)
+        child.finish()
+        span.finish()
+        telemetry.record_dial(full_result(), span=span)
+        assert telemetry.stage_seconds.labels(stage="connect").count == 1
+        assert telemetry.stage_seconds.labels(stage="connect").sum == pytest.approx(
+            0.03
+        )
+
+    def test_breaker_hook_records_transition(self):
+        telemetry, stream, _ = self.make()
+        clock = FakeClock()
+        breaker = CircuitBreaker(
+            failure_threshold=1,
+            cooldown=10.0,
+            clock=clock,
+            on_transition=lambda old, new: telemetry.record_breaker(
+                b"\x07" * 64, old, new
+            ),
+        )
+        breaker.record_failure()  # CLOSED → OPEN
+        clock.advance(11)
+        assert breaker.allow()  # lazily observed OPEN → HALF_OPEN probe
+        breaker.record_success()  # HALF_OPEN → CLOSED
+        transitions = [
+            (e.fields["old"], e.fields["new"])
+            for e in read_events(stream.getvalue().splitlines())
+        ]
+        assert transitions == [
+            ("closed", "open"),
+            ("open", "half-open"),
+            ("half-open", "closed"),
+        ]
+        assert telemetry.breaker_transitions.labels(to="open").value == 1
+
+    def test_supervisor_and_retry_records(self):
+        telemetry, stream, _ = self.make()
+        telemetry.record_loop_crash("discovery", "boom")
+        telemetry.record_loop_restart("discovery")
+        telemetry.record_loop_death("discovery", "boom")
+        telemetry.record_retry(b"\x01" * 64, attempt=1, delay=0.2)
+        events = read_events(stream.getvalue().splitlines())
+        assert [e.type for e in events] == [
+            "supervisor",
+            "supervisor",
+            "supervisor",
+            "retry",
+        ]
+        assert [e.fields.get("event") for e in events[:3]] == [
+            "crash",
+            "restart",
+            "death",
+        ]
+        assert telemetry.loop_crashes.value == 1
+        assert telemetry.retries.value == 1
+
+    def test_null_telemetry_records_nothing(self):
+        from repro.telemetry import NULL_TELEMETRY
+
+        NULL_TELEMETRY.record_dial(full_result())
+        NULL_TELEMETRY.record_retry(None, 1, 0.1)
+        assert NULL_TELEMETRY.registry.snapshot() == {"metrics": []}
+        assert NULL_TELEMETRY.journal is None
+
+
+# -- summaries --------------------------------------------------------------
+
+
+class TestSummaries:
+    def test_journal_summary_renders_funnel_and_latency(self):
+        telemetry, stream, clock = (
+            TestTelemetryFacade().make()
+        )
+        for _ in range(3):
+            span = telemetry.start_span("dial")
+            stage = span.child("hello")
+            clock.advance(0.1)
+            stage.finish()
+            telemetry.record_dial(
+                full_result(duration=span.finish("full-harvest")), span=span
+            )
+        telemetry.record_dial(
+            full_result(
+                outcome=DialOutcome.TIMEOUT,
+                client_id=None,
+                network_id=None,
+                dao_side=None,
+                failure_stage="connect",
+            )
+        )
+        text = summarize_journal(read_events(stream.getvalue().splitlines()))
+        assert "full-harvest" in text and "3" in text
+        assert "timeout" in text
+        assert "75.0%" in text
+        assert "hello" in text
+        assert "100.0ms" in text
+
+    def test_snapshot_summary_matches_journal_shape(self):
+        telemetry, _, clock = TestTelemetryFacade().make()
+        span = telemetry.start_span("dial")
+        child = span.child("connect")
+        clock.advance(0.05)
+        child.finish()
+        telemetry.record_dial(full_result(duration=span.finish()), span=span)
+        text = summarize_snapshot(telemetry.registry.snapshot())
+        assert "Dial funnel" in text and "full-harvest" in text
+        assert "Stage latency" in text and "connect" in text
+        assert math.isfinite(1.0)  # sanity: text path raised nothing
+
+    def test_empty_inputs_render(self):
+        assert "no transitions" in summarize_journal([])
+        assert "Dial funnel" in summarize_snapshot({"metrics": []})
