@@ -76,7 +76,9 @@ def network_stats(db: NodeDB) -> NetworkStats:
             if genesis == MAINNET_GENESIS_HASH and network_id != 1
         }
     )
-    top = Counter(network_peers).most_common(12)
+    # deterministic top-12: ties at the cut broken by network id, so the
+    # report does not depend on entry iteration order
+    top = sorted(network_peers.items(), key=lambda kv: (-kv[1], kv[0]))[:12]
     stats.network_shares = [
         (network_id, count / max(stats.status_nodes, 1)) for network_id, count in top
     ]

@@ -1,0 +1,124 @@
+"""Canonical plain-text crawl report: the paper's headline deliverables.
+
+One rendering path shared by ``nodefinder analyze`` and the golden-file
+regression tests, so the same :class:`~repro.nodefinder.database.NodeDB`
+— whether filled by a live crawl, loaded from a database dump, or
+replayed from a measurement journal — produces byte-identical output.
+Ties in every ranked table are broken lexicographically, so the
+rendering is independent of entry iteration order.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.analysis.churn import churn_report
+from repro.analysis.clients import client_share_table
+from repro.analysis.ecosystem import network_stats, service_table, useless_fraction
+from repro.analysis.freshness import freshness_cdf
+from repro.analysis.render import format_table
+from repro.nodefinder.database import NodeDB
+
+
+def _ranked(rows: list) -> list:
+    """Stable order for (key, count, share) rows: count desc, key asc."""
+    return sorted(rows, key=lambda row: (-row[1], str(row[0])))
+
+
+def render_table3(db: NodeDB) -> str:
+    """Table 3: primary DEVp2p service per HELLO-able node."""
+    return format_table(
+        "DEVp2p services (Table 3)",
+        ["service", "count", "share"],
+        _ranked(service_table(db)),
+    )
+
+
+def render_figure9(db: NodeDB) -> str:
+    """Figure 9: the network/genesis-hash ecosystem view."""
+    stats = network_stats(db)
+    lines = [
+        "Networks (Figure 9)",
+        "-------------------",
+        f"STATUS-bearing nodes    {stats.status_nodes}",
+        f"distinct network ids    {stats.distinct_network_ids}",
+        f"distinct genesis hashes {stats.distinct_genesis_hashes}",
+        f"single-peer networks    {stats.single_peer_networks}",
+        f"Mainnet nodes           {stats.mainnet_nodes}  "
+        f"(share {stats.mainnet_share:.1%})",
+        f"Classic nodes           {stats.classic_nodes}",
+        f"fake-Mainnet peers      {stats.fake_mainnet_peers} "
+        f"on {stats.fake_mainnet_networks} networks",
+        f"useless-peer fraction   {useless_fraction(db):.1%}",
+        "top networks by peers:",
+    ]
+    shares = sorted(
+        stats.network_shares, key=lambda row: (-row[1], str(row[0]))
+    )
+    for network_id, share in shares:
+        lines.append(f"  network {network_id:<12} {share:7.1%}")
+    return "\n".join(lines)
+
+
+def render_table4(db: NodeDB) -> str:
+    """Table 4: client families over verified Mainnet nodes."""
+    return format_table(
+        "Mainnet clients (Table 4)",
+        ["client", "count", "share"],
+        _ranked(client_share_table(db.mainnet_nodes())),
+    )
+
+
+def render_freshness(db: NodeDB, head_height: int = 0) -> str:
+    """Figure 14: freshness CDF of Mainnet nodes against the chain head.
+
+    ``head_height`` is the fallback reference for entries whose STATUS
+    did not record the contemporary head (pre-v2 journals, old dumps).
+    """
+    report = freshness_cdf(db, head_height)
+    lines = [
+        "Node freshness (Figure 14)",
+        "--------------------------",
+        f"Mainnet nodes with best block {report.total}",
+        f"stale (> 500 blocks behind)   {report.stale}  "
+        f"({report.stale_fraction:.1%})",
+        f"stuck at first post-Byzantium {report.stuck_at_byzantium}",
+    ]
+    if report.cdf_points:
+        lines.append("lag CDF:")
+        for lag, cdf in report.cdf_points:
+            lines.append(f"  <= {lag:>9,} blocks  {cdf:7.1%}")
+    return "\n".join(lines)
+
+
+def render_churn(db: NodeDB, total_days: float) -> str:
+    """§7.3 churn headline numbers over the crawl window."""
+    report = churn_report(db, total_days)
+    return "\n".join(
+        [
+            "Churn (§7.3)",
+            "------------",
+            f"responding nodes        {report.total_nodes}",
+            f"mean daily churn        {report.mean_daily_churn:.1%}",
+            f"median lifetime (hours) {report.median_lifetime_hours:.1f}",
+            f"always-on core          {report.always_on}",
+        ]
+    )
+
+
+def render_crawl_report(
+    db: NodeDB,
+    head_height: int = 0,
+    total_days: Optional[float] = None,
+) -> str:
+    """The full analyze output: Table 3, Figure 9, Table 4, Figure 14,
+    and — when the crawl spans days — the churn summary."""
+    sections = [
+        render_table3(db),
+        render_figure9(db),
+        render_table4(db),
+        render_freshness(db, head_height),
+    ]
+    if total_days is not None and total_days >= 2:
+        sections.append(render_churn(db, total_days))
+    return "\n\n".join(sections)

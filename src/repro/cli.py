@@ -10,7 +10,12 @@ Commands:
 * ``distance``  — reproduce the Figure 11 distance-metric comparison;
 * ``telemetry`` — summarise a crawl from its JSONL measurement journal
   (``--journal crawl.jsonl``) or a metrics-registry snapshot
-  (``--metrics metrics.json``); ``demo`` writes both with the same flags.
+  (``--metrics metrics.json``); ``demo`` writes both with the same flags;
+* ``analyze``   — render the paper's tables/figures (Table 3, Figure 9,
+  Table 4, Figure 14, churn) from either a measurement journal
+  (``--journal``, repeatable for a fleet's per-instance files) or a node
+  database dump (``--db``); both paths produce byte-identical reports
+  for the same crawl.
 """
 
 from __future__ import annotations
@@ -83,6 +88,37 @@ def _cmd_telemetry(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    from repro.analysis.ingest import replay_journals
+    from repro.analysis.report import render_crawl_report
+    from repro.nodefinder.database import NodeDB
+    from repro.simnet.clock import SECONDS_PER_DAY
+
+    if bool(args.journal) == bool(args.db):
+        print("analyze: pass --journal crawl.jsonl (repeatable) or --db nodes.jsonl",
+              file=sys.stderr)
+        return 2
+    if args.journal:
+        replayed = replay_journals(args.journal)
+        db = replayed.db
+        print(
+            f"replayed {replayed.events_replayed} events "
+            f"({replayed.dials_replayed} dials, {len(db)} peers) from "
+            f"{len(args.journal)} journal(s); skipped {len(replayed.skipped)}",
+            file=sys.stderr,
+        )
+    else:
+        db = NodeDB.load_jsonl(args.db)
+    total_days = args.days
+    if total_days is None:
+        # derived identically for both input paths, so the reports match
+        last = max((entry.last_attempt for entry in db), default=0.0)
+        total_days = last / SECONDS_PER_DAY
+    print(render_crawl_report(db, head_height=args.head_height,
+                              total_days=total_days))
+    return 0
+
+
 def _cmd_simulate(args: argparse.Namespace) -> int:
     from repro.analysis.clients import client_share_table
     from repro.analysis.ecosystem import network_stats, service_table, useless_fraction
@@ -105,7 +141,12 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         instance_count=args.instances,
         days=args.days,
         config=NodeFinderConfig(discovery_interval=args.discovery_interval),
+        telemetry_dir=args.telemetry_dir,
     )
+    if args.telemetry_dir:
+        journals = " ".join(f"--journal {path}" for path in fleet.journal_paths)
+        print(f"fleet telemetry: {fleet.metrics_path}; replay with "
+              f"`nodefinder analyze {journals}`")
     db, report = sanitize(fleet.merged_db, fleet.own_node_ids())
     print(
         f"crawled {report.total_nodes} node IDs over {args.days} sim-days; "
@@ -192,6 +233,8 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--instances", type=int, default=2)
     simulate.add_argument("--seed", type=int, default=2018)
     simulate.add_argument("--discovery-interval", type=float, default=60.0)
+    simulate.add_argument("--telemetry-dir", metavar="DIR",
+                          help="write per-instance journals + merged metrics here")
     simulate.set_defaults(func=_cmd_simulate)
 
     casestudy = commands.add_parser("casestudy", help="reproduce the §3 case study")
@@ -212,6 +255,19 @@ def build_parser() -> argparse.ArgumentParser:
     telemetry.add_argument("--metrics", metavar="PATH",
                            help="metrics-registry snapshot (JSON)")
     telemetry.set_defaults(func=_cmd_telemetry)
+
+    analyze = commands.add_parser(
+        "analyze", help="render the paper's tables/figures from a crawl artifact"
+    )
+    analyze.add_argument("--journal", metavar="PATH", action="append", default=[],
+                         help="measurement journal to replay (repeat for a fleet)")
+    analyze.add_argument("--db", metavar="PATH",
+                         help="node-database dump written by NodeDB.dump_jsonl")
+    analyze.add_argument("--head-height", type=int, default=0,
+                         help="fallback chain head for the freshness CDF")
+    analyze.add_argument("--days", type=float, default=None,
+                         help="crawl window in days for churn (default: derived)")
+    analyze.set_defaults(func=_cmd_analyze)
     return parser
 
 

@@ -32,12 +32,17 @@ Families
     the injected clock instead, so metrics, spans, and journal records
     share one timeline.  Passing ``time.monotonic`` by reference as a
     default clock is the sanctioned idiom and does not fire.
+``INGEST-PURE``
+    Inside ``repro.analysis``: no wall-clock/datetime calls and no
+    direct file I/O — a replayed report must be a pure function of the
+    crawl artifact, byte-identical no matter when or where it renders.
 """
 
 from repro.devtools.rules import (  # noqa: F401
     async_rules,
     crypto_bytes,
     exc_silent,
+    ingest_pure,
     obs_clock,
     retry_safe,
     sim_det,

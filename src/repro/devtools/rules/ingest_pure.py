@@ -1,0 +1,70 @@
+"""INGEST-PURE: the analysis layer is a pure function of its inputs.
+
+Every table and figure must be reproducible byte-for-byte from a crawl
+artifact alone — that is the whole point of the journal-replay pipeline.
+A wall-clock read inside ``repro.analysis`` would smuggle "now" into a
+replayed view (staleness that depends on when you ran the report), and
+direct file I/O would hide an input the caller cannot substitute.  Paths
+and streams come in through parameters (``read_events`` does the
+reading one layer down); timestamps come from the event stream.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import ast
+
+from repro.devtools.astutil import import_aliases, resolve_call
+from repro.devtools.findings import Finding
+from repro.devtools.registry import Rule, register
+from repro.devtools.rules.obs_clock import _DATETIME_BANNED, _WALL_CLOCKS
+from repro.devtools.source import ModuleSource
+
+_IO_CALLS = {
+    "open",
+    "io.open",
+    "os.popen",
+    "tempfile.NamedTemporaryFile",
+    "tempfile.TemporaryFile",
+}
+
+
+@register
+class IngestPurity(Rule):
+    code = "INGEST-PURE"
+    name = "ingest-purity"
+    description = (
+        "analysis/replay code must be a pure function of the crawl "
+        "artifact: no wall-clock or datetime calls (timestamps come from "
+        "the event stream) and no direct file I/O (sources arrive as "
+        "parameters; repro.telemetry.read_events does the reading)"
+    )
+    scope = ("analysis",)
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        aliases = import_aliases(module.tree)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            target = resolve_call(node.func, aliases)
+            if target is None:
+                continue
+            message = self._classify(target)
+            if message is not None:
+                yield self.finding(module, node.lineno, node.col_offset, message)
+
+    @staticmethod
+    def _classify(target: str) -> str | None:
+        if target in _WALL_CLOCKS or target in _DATETIME_BANNED:
+            return (
+                f"{target}() reads the clock in analysis code; a replayed "
+                "report must not depend on when it is rendered — take "
+                "timestamps from the event stream or a parameter"
+            )
+        if target in _IO_CALLS:
+            return (
+                f"direct I/O call {target}() in analysis code; accept a "
+                "path/stream parameter and let the telemetry layer read it"
+            )
+        return None

@@ -1,13 +1,25 @@
-"""Running many NodeFinder instances and merging their view (§5: 30 ran)."""
+"""Running many NodeFinder instances and merging their view (§5: 30 ran).
+
+With ``telemetry_dir`` set, :func:`run_fleet` instruments every instance
+with its own :class:`~repro.telemetry.Telemetry` on the shared world
+clock, writes one measurement journal per instance
+(``<name>.jsonl`` — replayable one by one or merged via
+:func:`repro.analysis.ingest.replay_journals`), and exports the fleet's
+merged metrics snapshot (``metrics.json``) — the multi-instance
+equivalent of the paper's combined measurement log.
+"""
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
 
 from repro.nodefinder.database import NodeDB
 from repro.nodefinder.records import CrawlStats
 from repro.nodefinder.scanner import NodeFinderConfig, NodeFinderInstance
 from repro.simnet.world import SimWorld
+from repro.telemetry import NULL_TELEMETRY, EventJournal, Telemetry, merge_snapshots
 
 
 @dataclass
@@ -16,6 +28,10 @@ class Fleet:
 
     world: SimWorld
     instances: list[NodeFinderInstance]
+    #: per-instance journal paths, in instance order (``telemetry_dir`` runs)
+    journal_paths: list[Path] = field(default_factory=list)
+    #: merged-metrics export path (``telemetry_dir`` runs)
+    metrics_path: Path | None = None
 
     @property
     def merged_db(self) -> NodeDB:
@@ -34,6 +50,22 @@ class Fleet:
     def own_node_ids(self) -> set[bytes]:
         return {instance.node_id for instance in self.instances}
 
+    def instance_snapshots(self) -> list[dict]:
+        return [
+            instance.telemetry.registry.snapshot() for instance in self.instances
+        ]
+
+    def merged_metrics(self) -> dict:
+        """Fleet totals: every instance's counters/histograms summed."""
+        return merge_snapshots(self.instance_snapshots())
+
+    def labeled_metrics(self) -> dict:
+        """One snapshot with per-instance series (``instance`` label)."""
+        return merge_snapshots(
+            self.instance_snapshots(),
+            names=[instance.name for instance in self.instances],
+        )
+
 
 def run_fleet(
     world: SimWorld,
@@ -41,24 +73,51 @@ def run_fleet(
     days: float = 6.0,
     config: NodeFinderConfig | None = None,
     watch_bootstrap: bool = False,
+    telemetry_dir: str | Path | None = None,
 ) -> Fleet:
     """Start ``instance_count`` crawlers and run the world for ``days``.
 
     All instances start simultaneously, as in the paper's deployment.  With
     ``watch_bootstrap`` every instance tracks dials to the first bootstrap
-    node (the Figure 8 experiment).
+    node (the Figure 8 experiment).  With ``telemetry_dir`` each instance
+    journals to ``<dir>/<name>.jsonl`` and the merged metrics snapshot is
+    written to ``<dir>/metrics.json`` when the run completes.
     """
+    export_dir = Path(telemetry_dir) if telemetry_dir is not None else None
+    if export_dir is not None:
+        export_dir.mkdir(parents=True, exist_ok=True)
     bootstrap = world.bootstrap_addresses()
+    clock = lambda: world.now  # noqa: E731 - the one shared timeline
     instances = []
+    journals: list[EventJournal] = []
+    journal_paths: list[Path] = []
     for index in range(instance_count):
+        name = f"nodefinder-{index}"
+        telemetry = NULL_TELEMETRY
+        if export_dir is not None:
+            path = export_dir / f"{name}.jsonl"
+            journal = EventJournal.open(path)
+            journals.append(journal)
+            journal_paths.append(path)
+            telemetry = Telemetry(journal=journal, clock=clock)
         instance = NodeFinderInstance(
             world,
             config=config or NodeFinderConfig(seed=index),
-            name=f"nodefinder-{index}",
+            name=name,
+            telemetry=telemetry,
         )
         if watch_bootstrap and bootstrap:
             instance.watch_bootstrap(bootstrap[0].node_id)
         instance.start(bootstrap)
         instances.append(instance)
-    world.run_days(days)
-    return Fleet(world=world, instances=instances)
+    fleet = Fleet(world=world, instances=instances, journal_paths=journal_paths)
+    try:
+        world.run_days(days)
+    finally:
+        for journal in journals:
+            journal.close()
+    if export_dir is not None:
+        fleet.metrics_path = export_dir / "metrics.json"
+        with open(fleet.metrics_path, "w", encoding="utf-8") as stream:
+            json.dump(fleet.merged_metrics(), stream, indent=2)
+    return fleet

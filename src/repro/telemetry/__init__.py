@@ -13,6 +13,8 @@ and zero ambient state:
 * :class:`EventJournal` / :func:`read_events` — the structured JSONL
   measurement journal (versioned schema, exact round-trip);
 * :func:`render_prometheus` — text exposition of a registry;
+* :func:`merge_snapshots` — fold per-instance registry snapshots into
+  one fleet view (aggregate sums or ``instance``-labeled series);
 * :func:`summarize_journal` / :func:`summarize_snapshot` — the human
   summary behind ``repro telemetry``;
 * :class:`Telemetry` — the facade instrumented code receives, bundling
@@ -32,6 +34,7 @@ from repro.telemetry.journal import (
     JournalError,
     read_events,
 )
+from repro.telemetry.merge import merge_snapshots
 from repro.telemetry.metrics import (
     DEFAULT_BUCKETS,
     Counter,
@@ -60,6 +63,7 @@ __all__ = [
     "SCHEMA_VERSION",
     "Span",
     "Telemetry",
+    "merge_snapshots",
     "quantile_from_buckets",
     "read_events",
     "render_prometheus",

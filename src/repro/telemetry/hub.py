@@ -162,6 +162,8 @@ class Telemetry:
             "dial",
             node_id=node_id,
             ip=result.ip,
+            tcp_port=result.tcp_port,
+            started=result.timestamp,
             outcome=outcome,
             connection_type=result.connection_type,
             duration=result.duration,
@@ -186,6 +188,8 @@ class Telemetry:
                 network_id=result.network_id,
                 genesis_hash=_hex(result.genesis_hash),
                 best_hash=_hex(result.best_hash),
+                best_block=result.best_block,
+                head_height=result.head_height,
                 total_difficulty=result.total_difficulty,
             )
         if result.dao_side is not None:

@@ -32,19 +32,54 @@ from __future__ import annotations
 import json
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Dict, Iterable, List, TextIO, Union
+from typing import Any, Callable, Dict, Iterable, List, Optional, TextIO, Union
 
 from repro.errors import ReproError
 
-#: bump when a record's meaning changes; readers reject unknown versions
-SCHEMA_VERSION = 1
+#: bump when a record's meaning changes; readers reject unknown versions.
+#: v2 (analysis-ingest PR) added optional fields: ``dial.started`` (the
+#: attempt's start timestamp — ``ts`` is stamped when the record is
+#: written, after the dial finished), ``dial.tcp_port``, and
+#: ``status.best_block`` / ``status.head_height`` (freshness inputs).
+SCHEMA_VERSION = 2
 
 #: keys every record carries outside its event-specific fields
 _RESERVED = ("v", "type", "ts")
 
 
 class JournalError(ReproError):
-    """A journal stream violated the schema (bad JSON, unknown version)."""
+    """A journal stream violated the schema (bad JSON, unknown version).
+
+    ``torn`` marks errors consistent with a torn final line from a
+    crashed writer (truncated JSON, missing keys) — :func:`read_events`
+    tolerates those on the last line of a stream.  A recognised-but-
+    unknown schema version is never torn: the line parsed fine and the
+    reader genuinely cannot interpret it.
+    """
+
+    def __init__(self, message: str, torn: bool = False) -> None:
+        super().__init__(message)
+        self.torn = torn
+
+
+def _at(lineno: int, message: str) -> str:
+    return f"line {lineno}: {message}" if lineno else message
+
+
+def _upgrade_v1(record: Dict[str, Any]) -> Dict[str, Any]:
+    """v1 → v2: the new keys (``dial.started``/``tcp_port``,
+    ``status.best_block``/``head_height``) are optional, so a v1 record
+    is a valid v2 record without them; replay falls back to the record's
+    ``ts`` / field defaults."""
+    return record
+
+
+#: migration shim: maps an old schema version to the one-step upgrade
+#: toward ``version + 1``; chained until :data:`SCHEMA_VERSION` so old
+#: journals keep replaying
+MIGRATIONS: Dict[int, Callable[[Dict[str, Any]], Dict[str, Any]]] = {
+    1: _upgrade_v1,
+}
 
 
 @dataclass(frozen=True)
@@ -69,21 +104,29 @@ class Event:
         try:
             record = json.loads(line)
         except json.JSONDecodeError as exc:
-            raise JournalError(f"line {lineno}: not valid JSON: {exc}") from exc
+            raise JournalError(
+                _at(lineno, f"not valid JSON: {exc}"), torn=True
+            ) from exc
         if not isinstance(record, dict):
-            raise JournalError(f"line {lineno}: record is not an object")
+            raise JournalError(_at(lineno, "record is not an object"), torn=True)
         version = record.pop("v", None)
+        while version in MIGRATIONS:
+            record = MIGRATIONS[version](record)
+            version += 1
         if version != SCHEMA_VERSION:
             raise JournalError(
-                f"line {lineno}: schema version {version!r} "
-                f"(this reader speaks {SCHEMA_VERSION})"
+                _at(
+                    lineno,
+                    f"unknown schema version {version!r} "
+                    f"(this reader speaks 1..{SCHEMA_VERSION})",
+                )
             )
         try:
             event_type = record.pop("type")
             ts = record.pop("ts")
         except KeyError as exc:
-            raise JournalError(f"line {lineno}: missing key {exc}") from exc
-        return cls(type=event_type, ts=float(ts), fields=record, v=version)
+            raise JournalError(_at(lineno, f"missing key {exc}"), torn=True) from exc
+        return cls(type=event_type, ts=float(ts), fields=record, v=SCHEMA_VERSION)
 
 
 class EventJournal:
@@ -127,19 +170,34 @@ class EventJournal:
 
 def read_events(
     source: Union[str, Path, TextIO, Iterable[str]],
+    tolerate_torn_tail: bool = True,
 ) -> List[Event]:
-    """Parse a journal back into events (path, open stream, or lines)."""
+    """Parse a journal back into events (path, open stream, or lines).
+
+    A journal written by a crawl that crashed (or was SIGKILLed) mid-write
+    typically ends in one torn line — truncated JSON with no newline.
+    With ``tolerate_torn_tail`` (the default) that final line is dropped
+    instead of raised, so a crashed crawl's journal still replays; torn
+    lines *before* the tail, and unknown schema versions anywhere, always
+    raise :class:`JournalError` with the line number.
+    """
     if isinstance(source, (str, Path)):
         with open(source, "r", encoding="utf-8") as stream:
-            return _parse_lines(stream)
-    return _parse_lines(source)
+            return _parse_lines(stream, tolerate_torn_tail)
+    return _parse_lines(source, tolerate_torn_tail)
 
 
-def _parse_lines(lines: Iterable[str]) -> List[Event]:
+def _parse_lines(lines: Iterable[str], tolerate_torn_tail: bool) -> List[Event]:
+    stripped = [line.strip() for line in lines]
+    last = max((i for i, line in enumerate(stripped) if line), default=-1)
     events = []
-    for lineno, line in enumerate(lines, start=1):
-        line = line.strip()
+    for index, line in enumerate(stripped):
         if not line:
             continue
-        events.append(Event.from_json(line, lineno))
+        try:
+            events.append(Event.from_json(line, index + 1))
+        except JournalError as exc:
+            if tolerate_torn_tail and exc.torn and index == last:
+                break
+            raise
     return events

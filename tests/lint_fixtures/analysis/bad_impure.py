@@ -1,0 +1,22 @@
+"""Fixture: analysis code that reads the clock and the filesystem."""
+
+import datetime
+import io
+import time
+
+
+def stamp_report(rows):
+    return {"rendered_at": time.time(), "rows": rows}
+
+
+def age_of(entry):
+    return datetime.datetime.now().timestamp() - entry.last_seen
+
+
+def slurp(path):
+    with open(path, encoding="utf-8") as handle:
+        return handle.read()
+
+
+def raw(path):
+    return io.open(path, "rb").read()

@@ -1,0 +1,18 @@
+"""Fixture: pure analysis code — timestamps and sources arrive as inputs."""
+
+import json
+
+
+def total_days(timelines, seconds_per_day=86400.0):
+    stamps = [timeline.last_event for timeline in timelines]
+    return (max(stamps) / seconds_per_day) if stamps else 0.0
+
+
+def parse_lines(lines):
+    return [json.loads(line) for line in lines if line.strip()]
+
+
+def render(rows, clock=None):
+    # receiving a clock by reference (never calling one here) is fine
+    header = f"{len(rows)} rows"
+    return "\n".join([header] + [str(row) for row in rows])

@@ -1,0 +1,245 @@
+"""Tentpole acceptance tests: journal replay reconstructs the live crawl.
+
+Three layers:
+
+* a simulated crawl whose per-instance journal, replayed, matches the
+  live ``NodeDB`` entry for entry and the dial-derived ``CrawlStats``
+  day for day;
+* the CLI acceptance criterion — ``nodefinder analyze --journal`` and
+  ``--db`` emit byte-identical reports for the same crawl;
+* property tests (Hypothesis) over adversarial event orderings:
+  shuffled, duplicated, or truncated journals degrade gracefully
+  instead of raising.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.ingest import load_nodedb, replay, replay_journal, replay_journals
+from repro.cli import main
+from repro.nodefinder.fleet import run_fleet
+from repro.nodefinder.scanner import NodeFinderConfig
+from repro.simnet.population import PopulationConfig
+from repro.simnet.world import SimWorld, WorldConfig
+from repro.telemetry import Event, read_events
+
+# dial-derived DayCounters attributes (discovery_attempts is scheduler
+# bookkeeping with no journal record; everything else folds from dials)
+DIAL_DERIVED = (
+    "dynamic_dial_attempts",
+    "static_dial_attempts",
+    "incoming_connections",
+    "nodes_dialed",
+    "nodes_responded",
+    "hellos",
+    "statuses",
+)
+
+
+@pytest.fixture(scope="module")
+def crawl(tmp_path_factory):
+    """One instrumented single-instance simnet crawl."""
+    telemetry_dir = tmp_path_factory.mktemp("telemetry")
+    world = SimWorld(
+        WorldConfig(
+            population=PopulationConfig(
+                total_nodes=120, measurement_days=2.0, seed=41
+            )
+        )
+    )
+    fleet = run_fleet(
+        world,
+        instance_count=1,
+        days=2.0,
+        config=NodeFinderConfig(seed=7),
+        telemetry_dir=telemetry_dir,
+    )
+    [journal_path] = fleet.journal_paths
+    return fleet, journal_path
+
+
+class TestSimnetRoundTrip:
+    def test_nodedb_matches_entry_for_entry(self, crawl):
+        fleet, journal_path = crawl
+        [instance] = fleet.instances
+        replayed = replay_journal(journal_path)
+        assert not replayed.skipped
+        assert len(replayed.db) == len(instance.db) > 0
+        for entry in instance.db:
+            assert replayed.db.get(entry.node_id) == entry, entry.node_id.hex()
+
+    def test_stats_match_day_for_day(self, crawl):
+        fleet, journal_path = crawl
+        [instance] = fleet.instances
+        replayed = replay_journal(journal_path)
+        assert set(replayed.stats.days) == set(instance.stats.days)
+        for day, live in instance.stats.days.items():
+            mirror = replayed.stats.days[day]
+            for attribute in DIAL_DERIVED:
+                assert getattr(mirror, attribute) == getattr(live, attribute), (
+                    f"day {day}: {attribute}"
+                )
+            assert dict(mirror.disconnects_received) == dict(
+                live.disconnects_received
+            )
+
+    def test_timelines_cover_every_dialed_peer(self, crawl):
+        fleet, journal_path = crawl
+        [instance] = fleet.instances
+        replayed = replay_journal(journal_path)
+        for entry in instance.db:
+            timeline = replayed.timeline(entry.node_id)
+            assert timeline is not None
+            assert timeline.dials >= 1
+            if entry.last_success >= 0:
+                assert timeline.first_seen is not None
+                assert timeline.first_seen <= timeline.last_seen
+                for gap in timeline.sighting_gaps:
+                    assert gap >= 0.0
+        assert replayed.total_days > 0
+
+    def test_replay_journals_merges_sorted(self, crawl):
+        _, journal_path = crawl
+        single = replay_journal(journal_path)
+        merged = replay_journals([journal_path])
+        assert len(merged.db) == len(single.db)
+        assert merged.events_replayed == single.events_replayed
+        assert load_nodedb(journal_path).get is not None
+
+
+class TestAnalyzeCliByteIdentical:
+    def test_journal_and_db_reports_match(self, crawl, tmp_path, capsys):
+        fleet, journal_path = crawl
+        [instance] = fleet.instances
+        db_path = tmp_path / "nodes.jsonl"
+        instance.db.dump_jsonl(str(db_path))
+
+        assert main(["analyze", "--db", str(db_path)]) == 0
+        from_db = capsys.readouterr().out
+        assert main(["analyze", "--journal", str(journal_path)]) == 0
+        from_journal = capsys.readouterr().out
+
+        assert from_journal == from_db
+        assert "Table 3" in from_db
+        assert "Figure 9" in from_db
+
+    def test_head_height_flag_threads_through(self, crawl, tmp_path, capsys):
+        fleet, journal_path = crawl
+        assert main(
+            ["analyze", "--journal", str(journal_path), "--head-height", "64"]
+        ) == 0
+        report = capsys.readouterr().out
+        assert "freshness" in report.lower()
+
+    def test_rejects_ambiguous_input(self, capsys, tmp_path):
+        assert main(["analyze"]) == 2
+        path = str(tmp_path / "x.jsonl")
+        assert main(["analyze", "--journal", path, "--db", path]) == 2
+
+
+# -- adversarial orderings ----------------------------------------------------
+
+
+def _synthetic_lines() -> list[str]:
+    """A compact hand-built journal exercising every record type."""
+    peer_a, peer_b = "aa" * 32, "bb" * 32
+    events = [
+        Event(type="bond", ts=1.0, fields={"node_id": peer_a, "ok": True}),
+        Event(type="dial", ts=10.0, fields={
+            "node_id": peer_a, "ip": "10.0.0.1", "tcp_port": 30303,
+            "connection_type": "dynamic-dial", "outcome": "full-harvest",
+            "latency": 0.05, "duration": 0.4, "started": 9.6, "attempt": 1,
+        }),
+        Event(type="hello", ts=10.0, fields={
+            "node_id": peer_a, "client_id": "Geth/v1.8.0",
+            "capabilities": [["eth", 63]], "listen_port": 30303,
+        }),
+        Event(type="status", ts=10.0, fields={
+            "node_id": peer_a, "network_id": 1, "genesis_hash": "cc" * 32,
+            "best_hash": "dd" * 32, "best_block": 4500000,
+            "head_height": 4500100, "total_difficulty": 7,
+        }),
+        Event(type="dao", ts=10.0, fields={"node_id": peer_a, "verdict": "supports"}),
+        Event(type="disconnect", ts=10.0, fields={
+            "node_id": peer_a, "sent_by": "local", "reason": 8,
+        }),
+        Event(type="retry", ts=20.0, fields={"node_id": peer_b, "attempt": 1}),
+        Event(type="dial", ts=21.0, fields={
+            "node_id": peer_b, "ip": "10.0.0.2", "tcp_port": 30303,
+            "connection_type": "dynamic-dial", "outcome": "refused",
+            "failure_stage": "connect", "started": 20.9, "attempt": 2,
+        }),
+        Event(type="breaker", ts=22.0, fields={
+            "node_id": peer_b, "old": "closed", "new": "open",
+        }),
+        Event(type="supervisor", ts=23.0, fields={"restarts": 1}),
+    ]
+    return [event.to_json() for event in events]
+
+
+class TestAdversarialOrderings:
+    def test_clean_synthetic_journal(self):
+        replayed = replay_journal(_synthetic_lines())
+        assert replayed.dials_replayed == 2
+        entry = replayed.db.get(bytes.fromhex("aa" * 32))
+        assert entry.client_id == "Geth/v1.8.0"
+        assert entry.network_id == 1
+        assert entry.dao_side == "supports"
+        timeline = replayed.timeline(bytes.fromhex("bb" * 32))
+        assert timeline.retries == 1
+        assert timeline.breaker_opens == 1
+
+    @settings(max_examples=50, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=2**32 - 1))
+    def test_shuffled_journal_never_raises(self, seed):
+        lines = _synthetic_lines()
+        random.Random(seed).shuffle(lines)
+        replayed = replay_journal(lines)
+        # a dial for every peer survives any ordering
+        assert replayed.dials_replayed == 2
+        # orphaned companion facts still land on the entry
+        entry = replayed.db.get(bytes.fromhex("aa" * 32))
+        assert entry.client_id == "Geth/v1.8.0"
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=2**32 - 1),
+        extra=st.integers(min_value=1, max_value=8),
+    )
+    def test_duplicated_records_never_raise(self, seed, extra):
+        rng = random.Random(seed)
+        lines = _synthetic_lines()
+        lines += [rng.choice(lines) for _ in range(extra)]
+        replayed = replay_journal(lines)
+        assert replayed.db.get(bytes.fromhex("aa" * 32)) is not None
+
+    @settings(max_examples=50, deadline=None)
+    @given(cut=st.integers(min_value=0, max_value=200))
+    def test_truncated_final_line_degrades_gracefully(self, cut):
+        lines = _synthetic_lines()
+        whole, last = lines[:-1], lines[-1]
+        truncated = whole + [last[: min(cut, len(last) - 1)]]
+        replayed = replay_journal(truncated)  # must not raise
+        assert replayed.events_replayed >= len(whole)
+
+    @settings(max_examples=50, deadline=None)
+    @given(data=st.data())
+    def test_mangled_fields_are_skipped_not_fatal(self, data):
+        lines = _synthetic_lines()
+        index = data.draw(st.integers(min_value=0, max_value=len(lines) - 1))
+        mangled = data.draw(st.sampled_from([
+            '{"v": 1, "type": "dial", "ts": 5.0}',
+            '{"v": 1, "type": "dial", "ts": 5.0, "node_id": "zz", '
+            '"outcome": "full-harvest"}',
+            '{"v": 1, "type": "dial", "ts": 5.0, "node_id": "' + "ee" * 32
+            + '", "outcome": "no-such-outcome"}',
+            '{"v": 1, "type": "hello", "ts": 5.0}',
+        ]))
+        lines[index] = mangled
+        replayed = replay(read_events(lines))
+        assert replayed.skipped or replayed.events_replayed == len(lines)

@@ -12,7 +12,9 @@ class TestParser:
 
     def test_all_commands_registered(self):
         parser = build_parser()
-        for command in ("demo", "simulate", "casestudy", "distance", "telemetry"):
+        for command in (
+            "demo", "simulate", "casestudy", "distance", "telemetry", "analyze",
+        ):
             args = parser.parse_args([command] if command != "demo" else ["demo"])
             assert callable(args.func)
 
@@ -66,3 +68,32 @@ class TestCommands:
     def test_telemetry_requires_an_input(self, capsys):
         assert main(["telemetry"]) == 2
         assert "telemetry:" in capsys.readouterr().err
+
+    def test_demo_journal_feeds_analyze(self, capsys, tmp_path):
+        journal = tmp_path / "crawl.jsonl"
+        assert main([
+            "demo", "--nodes", "2", "--blocks", "4", "--journal", str(journal),
+        ]) == 0
+        capsys.readouterr()
+        assert main(["analyze", "--journal", str(journal)]) == 0
+        captured = capsys.readouterr()
+        assert "DEVp2p services (Table 3)" in captured.out
+        assert "Networks (Figure 9)" in captured.out
+        # replay provenance goes to stderr, keeping stdout byte-comparable
+        assert "replayed" in captured.err
+
+    def test_simulate_telemetry_dir_mentions_replay(self, capsys, tmp_path):
+        telemetry_dir = tmp_path / "t"
+        assert main([
+            "simulate", "--nodes", "120", "--days", "1",
+            "--instances", "2", "--discovery-interval", "300",
+            "--telemetry-dir", str(telemetry_dir),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "fleet telemetry" in out and "nodefinder analyze" in out
+        assert (telemetry_dir / "metrics.json").exists()
+        assert (telemetry_dir / "nodefinder-0.jsonl").exists()
+
+    def test_analyze_requires_exactly_one_input(self, capsys, tmp_path):
+        assert main(["analyze"]) == 2
+        assert "analyze:" in capsys.readouterr().err

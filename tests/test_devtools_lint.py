@@ -32,6 +32,7 @@ RULE_CODES = {
     "CRYPTO-BYTES",
     "RETRY-SAFE",
     "OBS-CLOCK",
+    "INGEST-PURE",
 }
 
 
@@ -59,6 +60,7 @@ FIRING = {
     "crypto/bad_mixing.py": {"CRYPTO-BYTES": 4},
     "nodefinder/bad_raw_await.py": {"RETRY-SAFE": 3},
     "telemetry/bad_wallclock.py": {"OBS-CLOCK": 3},
+    "analysis/bad_impure.py": {"INGEST-PURE": 4},
 }
 
 CLEAN = [
@@ -69,6 +71,7 @@ CLEAN = [
     "crypto/clean_bytes.py",
     "nodefinder/clean_deadline.py",
     "telemetry/clean_injected.py",
+    "analysis/clean_pure.py",
 ]
 
 
@@ -127,12 +130,23 @@ def test_disable_all_suppresses_every_family(tmp_path):
 
 def test_scoped_rule_ignores_other_packages(tmp_path):
     # the same nondeterministic source outside simnet/chain is not SIM-DET's
-    # business (the analysis layer may legitimately read the clock)
+    # business (fullnode code may legitimately read the clock)
+    bad = (FIXTURES / "simnet" / "bad_wallclock.py").read_text()
+    target = tmp_path / "fullnode" / "wallclock.py"
+    target.parent.mkdir()
+    target.write_text(bad)
+    assert lint_paths([target]) == []
+
+
+def test_ingest_pure_guards_the_analysis_layer(tmp_path):
+    # the very same wall-clock source dropped into analysis/ is caught —
+    # replayed reports must not depend on when they render
     bad = (FIXTURES / "simnet" / "bad_wallclock.py").read_text()
     target = tmp_path / "analysis" / "wallclock.py"
     target.parent.mkdir()
     target.write_text(bad)
-    assert lint_paths([target]) == []
+    codes = {finding.code for finding in lint_paths([target])}
+    assert codes == {"INGEST-PURE"}
 
 
 def test_crypto_rule_applies_to_rlpx_paths(tmp_path):

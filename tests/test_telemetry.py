@@ -240,18 +240,55 @@ class TestJournal:
         with pytest.raises(JournalError, match="schema version"):
             Event.from_json(line)
 
+    def test_unknown_version_names_line_number(self):
+        lines = [
+            Event(type="dial", ts=0.0).to_json(),
+            '{"v":99,"type":"dial","ts":1}',
+            Event(type="dial", ts=2.0).to_json(),
+        ]
+        with pytest.raises(JournalError, match="line 2.*schema version"):
+            read_events(lines)
+        # ...even on the final line: an unknown version parsed fine, so it
+        # is an incompatibility, not a torn tail
+        with pytest.raises(JournalError, match="line 2.*schema version"):
+            read_events(lines[:2])
+
+    def test_v1_journal_migrates_forward(self):
+        event = Event.from_json('{"v":1,"type":"dial","ts":3.5,"outcome":"timeout"}')
+        assert event.v == SCHEMA_VERSION
+        assert event.type == "dial"
+        assert event.fields == {"outcome": "timeout"}
+
     def test_reserved_key_collision_rejected(self):
         event = Event(type="dial", ts=0.0, fields={"ts": 1.0})
         with pytest.raises(JournalError, match="reserved"):
             event.to_json()
 
     def test_bad_json_reports_line_number(self):
+        good = '{"v":1,"type":"a","ts":0}'
         with pytest.raises(JournalError, match="line 2"):
-            read_events(['{"v":1,"type":"a","ts":0}', "{nope"])
+            read_events([good, "{nope", good])
+
+    def test_torn_final_line_tolerated(self):
+        good = Event(type="dial", ts=0.0, fields={"outcome": "timeout"}).to_json()
+        torn = good[: len(good) // 2]  # crashed writer: truncated, no newline
+        assert read_events([good, good, torn]) == read_events([good, good])
+        # strict mode still raises, with the line number
+        with pytest.raises(JournalError, match="line 3"):
+            read_events([good, good, torn], tolerate_torn_tail=False)
+
+    def test_torn_line_mid_stream_still_raises(self):
+        good = Event(type="dial", ts=0.0).to_json()
+        with pytest.raises(JournalError, match="line 1"):
+            read_events([good[:10], good])
 
     def test_blank_lines_skipped(self):
         lines = ["", '{"v":1,"type":"a","ts":0}', "   "]
         assert len(read_events(lines)) == 1
+
+    def test_blank_lines_after_torn_tail_still_tolerated(self):
+        good = Event(type="dial", ts=0.0).to_json()
+        assert read_events([good, good[:9], "", "  "]) == read_events([good])
 
 
 # -- spans ------------------------------------------------------------------

@@ -132,6 +132,25 @@ class TestCrawlWithTelemetry:
             assert telemetry.stage_seconds.labels(stage=stage).count == harvested
         assert telemetry.stage_seconds.labels(stage="connect").count == len(db)
 
+    def test_replay_reconstructs_live_nodedb(self):
+        # tentpole round-trip: the journal alone rebuilds the NodeDB the
+        # live crawl produced, entry for entry
+        from repro.analysis.ingest import replay
+
+        db, events, _, dead = self.crawl()
+        replayed = replay(events)
+        assert not replayed.skipped
+        assert len(replayed.db) == len(db)
+        for entry in db:
+            mirror = replayed.db.get(entry.node_id)
+            assert mirror == entry, entry.node_id.hex()
+        # the timelines know who connected and who refused
+        assert replayed.timeline(dead.node_id).outcomes["refused"] == 1
+        for entry in db.nodes_with_status():
+            timeline = replayed.timeline(entry.node_id)
+            assert timeline.outcomes["full-harvest"] == 1
+            assert timeline.first_seen == entry.first_seen
+
     def test_prometheus_and_summary_render_the_run(self):
         _, events, telemetry, _ = self.crawl()
         text = render_prometheus(telemetry.registry)
