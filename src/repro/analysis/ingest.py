@@ -331,12 +331,17 @@ def replay_journals(
     sources: Iterable[Union[str, Path, TextIO, Iterable[str]]],
     tolerate_torn_tail: bool = True,
 ) -> ReplayedCrawl:
-    """Replay several journals (a fleet's per-instance files) as one crawl.
+    """Replay several journals (per-instance or per-shard files) as one crawl.
 
-    Events are merged in timestamp order — the per-instance journals
-    share one injected clock, so a stable sort reconstructs the fleet's
-    interleaved timeline while keeping each dial's companion records
-    (written at the same instant) contiguous.
+    Events are merged in timestamp order — the journals share one
+    injected clock, so a stable sort reconstructs the crawl's interleaved
+    timeline while keeping each dial's companion records (written at the
+    same instant) contiguous.  Sharded crawls journal one file per shard
+    (``<name>-shard<k>.jsonl``); because the keyspace partition gives
+    every node exactly one owning shard, no two shard files carry the
+    same node at the same timestamp, and the merged replay reconstructs
+    the same NodeDB the live sharded crawl folded through its writer
+    queue (the shard-conformance suite pins this).
     """
     merged: List[Event] = []
     for source in sources:

@@ -10,19 +10,115 @@ rendering is independent of entry iteration order.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Iterable, Optional
 
 from repro.analysis.churn import churn_report
-from repro.analysis.clients import client_share_table
+from repro.analysis.clients import client_share_table, parse_client_id
 from repro.analysis.ecosystem import network_stats, service_table, useless_fraction
 from repro.analysis.freshness import freshness_cdf
 from repro.analysis.render import format_table
 from repro.nodefinder.database import NodeDB
 
+#: Figure 12 sighting-interval histogram bucket edges, in seconds
+SIGHTING_BUCKETS = (
+    ("<= 1 min", 60.0),
+    ("<= 10 min", 600.0),
+    ("<= 30 min", 1800.0),
+    ("<= 1 h", 3600.0),
+    ("<= 6 h", 6 * 3600.0),
+    ("<= 24 h", 24 * 3600.0),
+    ("> 24 h", float("inf")),
+)
+
 
 def _ranked(rows: list) -> list:
     """Stable order for (key, count, share) rows: count desc, key asc."""
     return sorted(rows, key=lambda row: (-row[1], str(row[0])))
+
+
+def render_table1(db: NodeDB) -> str:
+    """Table 1: Disconnect reasons received, cross-tabbed by client family.
+
+    Counts come from every remote Disconnect the crawler recorded against
+    a node (``NodeEntry.disconnects``); columns are the five busiest
+    client families plus an aggregate ``other`` column, rows are reasons
+    — both ranked by total count with lexicographic tie-breaks, so the
+    table is independent of entry iteration order.
+    """
+    reason_totals: dict[str, int] = {}
+    family_totals: dict[str, int] = {}
+    cells: dict[tuple[str, str], int] = {}
+    for entry in db:
+        if not entry.disconnects:
+            continue
+        family = (
+            parse_client_id(entry.client_id).family
+            if entry.client_id
+            else "unknown"
+        )
+        for reason, count in entry.disconnects.items():
+            reason_totals[reason] = reason_totals.get(reason, 0) + count
+            family_totals[family] = family_totals.get(family, 0) + count
+            cells[(reason, family)] = cells.get((reason, family), 0) + count
+    top_families = sorted(
+        family_totals, key=lambda family: (-family_totals[family], family)
+    )[:5]
+    spill = [family for family in family_totals if family not in top_families]
+    columns = top_families + (["other"] if spill else [])
+    rows = []
+    for reason in sorted(
+        reason_totals, key=lambda reason: (-reason_totals[reason], reason)
+    ):
+        row: list = [reason]
+        for family in top_families:
+            row.append(cells.get((reason, family), 0))
+        if spill:
+            row.append(
+                sum(cells.get((reason, family), 0) for family in spill)
+            )
+        row.append(reason_totals[reason])
+        rows.append(row)
+    return format_table(
+        "Disconnect reasons by client (Table 1)",
+        ["reason"] + columns + ["total"],
+        rows,
+    )
+
+
+def render_sightings(timelines: Iterable) -> str:
+    """Figure 12: distribution of intervals between repeat sightings.
+
+    Takes the :class:`~repro.analysis.ingest.PeerTimeline` values of a
+    replayed journal and histograms every gap between consecutive live
+    sightings of the same peer — the re-dial cadence the §7.3 churn and
+    staleness readings rest on.
+    """
+    gaps: list[float] = []
+    repeat_peers = 0
+    for timeline in timelines:
+        if timeline.sighting_gaps:
+            repeat_peers += 1
+            gaps.extend(timeline.sighting_gaps)
+    lines = [
+        "Sighting intervals (Figure 12)",
+        "------------------------------",
+        f"peers sighted more than once {repeat_peers}",
+        f"total repeat sightings       {len(gaps)}",
+    ]
+    if gaps:
+        ordered = sorted(gaps)
+        median = ordered[len(ordered) // 2]
+        lines.append(f"median interval (seconds)    {median:.1f}")
+        lines.append("interval histogram:")
+        total = len(gaps)
+        previous = 0.0
+        for label, upper in SIGHTING_BUCKETS:
+            count = sum(1 for gap in gaps if previous <= gap < upper)
+            previous = upper
+            share = count / total
+            bar = "#" * int(30 * share)
+            lines.append(f"  {label:<10} {count:>8}  {share:7.1%} {bar}")
+    return "\n".join(lines)
 
 
 def render_table3(db: NodeDB) -> str:
@@ -111,9 +207,10 @@ def render_crawl_report(
     head_height: int = 0,
     total_days: Optional[float] = None,
 ) -> str:
-    """The full analyze output: Table 3, Figure 9, Table 4, Figure 14,
-    and — when the crawl spans days — the churn summary."""
+    """The full analyze output: Table 1, Table 3, Figure 9, Table 4,
+    Figure 14, and — when the crawl spans days — the churn summary."""
     sections = [
+        render_table1(db),
         render_table3(db),
         render_figure9(db),
         render_table4(db),

@@ -11,11 +11,14 @@ Commands:
 * ``telemetry`` — summarise a crawl from its JSONL measurement journal
   (``--journal crawl.jsonl``) or a metrics-registry snapshot
   (``--metrics metrics.json``); ``demo`` writes both with the same flags;
-* ``analyze``   — render the paper's tables/figures (Table 3, Figure 9,
-  Table 4, Figure 14, churn) from either a measurement journal
-  (``--journal``, repeatable for a fleet's per-instance files) or a node
+* ``analyze``   — render the paper's tables/figures (Table 1, Table 3,
+  Figure 9, Table 4, Figure 14, churn, and ``--sightings`` for the
+  Figure 12 intervals) from either a measurement journal (``--journal``,
+  repeatable for a fleet's per-instance or per-shard files) or a node
   database dump (``--db``); both paths produce byte-identical reports
-  for the same crawl.
+  for the same crawl;
+* ``crawl``     — run a live (optionally sharded, ``--shards N``) crawl
+  against real bootstrap enodes, journaling per shard.
 """
 
 from __future__ import annotations
@@ -90,7 +93,7 @@ def _cmd_telemetry(args: argparse.Namespace) -> int:
 
 def _cmd_analyze(args: argparse.Namespace) -> int:
     from repro.analysis.ingest import replay_journals
-    from repro.analysis.report import render_crawl_report
+    from repro.analysis.report import render_crawl_report, render_sightings
     from repro.nodefinder.database import NodeDB
     from repro.simnet.clock import SECONDS_PER_DAY
 
@@ -98,6 +101,11 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
         print("analyze: pass --journal crawl.jsonl (repeatable) or --db nodes.jsonl",
               file=sys.stderr)
         return 2
+    if args.sightings and not args.journal:
+        print("analyze: --sightings needs --journal (timelines are "
+              "journal-derived)", file=sys.stderr)
+        return 2
+    replayed = None
     if args.journal:
         replayed = replay_journals(args.journal)
         db = replayed.db
@@ -116,7 +124,77 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
         total_days = last / SECONDS_PER_DAY
     print(render_crawl_report(db, head_height=args.head_height,
                               total_days=total_days))
+    if args.sightings and replayed is not None:
+        print()
+        print(render_sightings(replayed.timelines.values()))
     return 0
+
+
+def _cmd_crawl(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.crypto.keys import PrivateKey
+    from repro.discovery.enode import parse_enode_url
+    from repro.errors import DiscoveryError
+    from repro.nodefinder.live import LiveConfig, LiveNodeFinder
+    from repro.telemetry import EventJournal, Telemetry
+
+    try:
+        bootstrap = [parse_enode_url(uri) for uri in args.enode]
+    except DiscoveryError as exc:
+        print(f"crawl: bad --enode: {exc}", file=sys.stderr)
+        return 2
+    config = LiveConfig(
+        shards=args.shards,
+        lookup_interval=args.lookup_interval,
+        static_dial_interval=args.static_dial_interval,
+    )
+    journal = None
+    shard_journals = None
+    journal_dir = Path(args.journal_dir) if args.journal_dir else None
+    if journal_dir is not None:
+        journal_dir.mkdir(parents=True, exist_ok=True)
+        if config.shards > 1:
+            shard_journals = [
+                EventJournal.open(journal_dir / f"crawl-shard{index}.jsonl")
+                for index in range(config.shards)
+            ]
+        else:
+            journal = EventJournal.open(journal_dir / "crawl.jsonl")
+
+    async def run() -> int:
+        finder = LiveNodeFinder(
+            PrivateKey.generate(),
+            config=config,
+            telemetry=Telemetry(journal=journal) if journal else None,
+            shard_journals=shard_journals,
+        )
+        await finder.start(bootstrap)
+        try:
+            await finder.crawl_for(args.seconds)
+        finally:
+            await finder.stop()
+        stats = finder.stats
+        print(
+            f"crawled for {args.seconds:.0f}s with {config.shards} shard(s): "
+            f"{len(finder.db)} node IDs, {stats['dynamic_dials']} dynamic + "
+            f"{stats['static_dials']} static dials, "
+            f"{finder.writer.folds} writer folds"
+        )
+        if args.db:
+            count = finder.db.dump_jsonl(args.db)
+            print(f"node database: {args.db} ({count} entries)")
+        return 0
+
+    try:
+        return asyncio.run(run())
+    finally:
+        for open_journal in (shard_journals or ([journal] if journal else [])):
+            open_journal.close()
+        if journal_dir is not None:
+            paths = sorted(journal_dir.glob("crawl*.jsonl"))
+            journals = " ".join(f"--journal {path}" for path in paths)
+            print(f"measurement journals: replay with `nodefinder analyze {journals}`")
 
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
@@ -140,7 +218,9 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         world,
         instance_count=args.instances,
         days=args.days,
-        config=NodeFinderConfig(discovery_interval=args.discovery_interval),
+        config=NodeFinderConfig(
+            discovery_interval=args.discovery_interval, shards=args.shards
+        ),
         telemetry_dir=args.telemetry_dir,
     )
     if args.telemetry_dir:
@@ -233,8 +313,11 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--instances", type=int, default=2)
     simulate.add_argument("--seed", type=int, default=2018)
     simulate.add_argument("--discovery-interval", type=float, default=60.0)
+    simulate.add_argument("--shards", type=int, default=1,
+                          help="worker shards partitioning the enode keyspace")
     simulate.add_argument("--telemetry-dir", metavar="DIR",
-                          help="write per-instance journals + merged metrics here")
+                          help="write per-instance journals + merged metrics here "
+                               "(one journal per shard when --shards > 1)")
     simulate.set_defaults(func=_cmd_simulate)
 
     casestudy = commands.add_parser("casestudy", help="reproduce the §3 case study")
@@ -267,7 +350,29 @@ def build_parser() -> argparse.ArgumentParser:
                          help="fallback chain head for the freshness CDF")
     analyze.add_argument("--days", type=float, default=None,
                          help="crawl window in days for churn (default: derived)")
+    analyze.add_argument("--sightings", action="store_true",
+                         help="append the Figure 12 sighting-interval section "
+                              "(journal input only)")
     analyze.set_defaults(func=_cmd_analyze)
+
+    crawl = commands.add_parser(
+        "crawl", help="run a live sharded crawl against real enodes"
+    )
+    crawl.add_argument("--enode", metavar="URL", action="append", default=[],
+                       required=True,
+                       help="bootstrap enode:// URL (repeatable)")
+    crawl.add_argument("--shards", type=int, default=1,
+                       help="worker shards partitioning the enode keyspace")
+    crawl.add_argument("--seconds", type=float, default=60.0,
+                       help="crawl duration")
+    crawl.add_argument("--lookup-interval", type=float, default=4.0)
+    crawl.add_argument("--static-dial-interval", type=float, default=30 * 60.0)
+    crawl.add_argument("--journal-dir", metavar="DIR",
+                       help="write measurement journals here "
+                            "(one per shard when --shards > 1)")
+    crawl.add_argument("--db", metavar="PATH",
+                       help="dump the node database here when done")
+    crawl.set_defaults(func=_cmd_crawl)
     return parser
 
 

@@ -36,6 +36,13 @@ Families
     Inside ``repro.analysis``: no wall-clock/datetime calls and no
     direct file I/O — a replayed report must be a pure function of the
     crawl artifact, byte-identical no matter when or where it renders.
+``SHARD-SAFE``
+    Inside ``repro.nodefinder``: shared NodeDB state is mutated only
+    through a writer class (``NodeDBWriter``) — a stray
+    ``db.observe(...)`` in a dial loop races the single-writer fold —
+    and crawler code neither draws from the global ``random`` module nor
+    calls a wall clock; per-shard rngs and the crawl clock are injected
+    so N shards stay conformant with the unsharded crawl.
 """
 
 from repro.devtools.rules import (  # noqa: F401
@@ -45,5 +52,6 @@ from repro.devtools.rules import (  # noqa: F401
     ingest_pure,
     obs_clock,
     retry_safe,
+    shard_safe,
     sim_det,
 )

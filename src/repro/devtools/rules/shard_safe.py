@@ -1,0 +1,139 @@
+"""SHARD-SAFE: sharded crawl state folds through the single writer.
+
+The sharded scheduler's entire correctness argument is one invariant:
+shard dial loops never touch shared crawl state directly — every
+``DialResult`` reaches the shared :class:`~repro.nodefinder.database.NodeDB`
+through one :class:`~repro.nodefinder.shard.NodeDBWriter` (synchronous in
+direct mode, one consumer task in queued mode).  A stray
+``self.db.observe(...)`` in a dial loop would race the writer and silently
+break the conformance guarantee that N shards produce the same database
+as the unsharded crawl, so it is a lint error rather than a review note.
+
+Two companions guard the same conformance property: shard code must not
+draw from the process-global ``random`` module (each shard's rng is
+seeded and injected, or reordering shards reorders the stream) and must
+not call a wall clock (the crawl clock is injected so every shard's
+records share one timeline).
+
+``database.py`` itself — where ``observe``/``merge_entry`` live — and
+classes with ``writer`` in their name are exempt: they *are* the single
+mutation point.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List
+
+import ast
+
+from repro.devtools.astutil import import_aliases, resolve_call
+from repro.devtools.findings import Finding
+from repro.devtools.registry import Rule, register
+from repro.devtools.rules.sim_det import _RANDOM_ALLOWED, _WALL_CLOCKS
+from repro.devtools.source import ModuleSource
+
+#: NodeDB methods that mutate shared crawl state.
+_DB_MUTATORS = {"observe", "merge", "merge_entry"}
+
+
+def _is_db_owner(owner: ast.expr) -> bool:
+    """Does this expression look like a (shared) node database handle?"""
+    if isinstance(owner, ast.Name):
+        name = owner.id
+    elif isinstance(owner, ast.Attribute):
+        name = owner.attr
+    else:
+        return False
+    return name == "db" or name.endswith("_db")
+
+
+@register
+class ShardSafety(Rule):
+    code = "SHARD-SAFE"
+    name = "shard-safety"
+    description = (
+        "crawler code must fold shared NodeDB state only through a writer "
+        "class (db.observe/merge outside one is an error) and must not read "
+        "the global random module or a wall clock — per-shard rng and the "
+        "crawl clock are injected"
+    )
+    scope = ("nodefinder",)
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        if module.path.name == "database.py":
+            # the database is the mutation point the invariant protects
+            return
+        aliases = import_aliases(module.tree)
+        findings: List[Finding] = []
+        self._walk(module, module.tree, aliases, False, findings)
+        yield from findings
+
+    def _walk(
+        self,
+        module: ModuleSource,
+        node: ast.AST,
+        aliases: dict,
+        inside_writer: bool,
+        findings: List[Finding],
+    ) -> None:
+        for child in ast.iter_child_nodes(node):
+            child_inside = inside_writer
+            if isinstance(child, ast.ClassDef):
+                child_inside = inside_writer or "writer" in child.name.lower()
+            if isinstance(child, ast.Call):
+                self._check_call(module, child, aliases, inside_writer, findings)
+            self._walk(module, child, aliases, child_inside, findings)
+
+    def _check_call(
+        self,
+        module: ModuleSource,
+        node: ast.Call,
+        aliases: dict,
+        inside_writer: bool,
+        findings: List[Finding],
+    ) -> None:
+        func = node.func
+        if (
+            not inside_writer
+            and isinstance(func, ast.Attribute)
+            and func.attr in _DB_MUTATORS
+            and _is_db_owner(func.value)
+        ):
+            findings.append(
+                self.finding(
+                    module,
+                    node.lineno,
+                    node.col_offset,
+                    f"shared NodeDB mutation .{func.attr}() outside a writer "
+                    "class; fold results through NodeDBWriter so shards "
+                    "never race the database",
+                )
+            )
+            return
+        target = resolve_call(func, aliases)
+        if target is None:
+            return
+        if target.startswith("random."):
+            tail = target.split(".", 1)[1]
+            if tail.split(".")[0] not in _RANDOM_ALLOWED:
+                findings.append(
+                    self.finding(
+                        module,
+                        node.lineno,
+                        node.col_offset,
+                        f"global-RNG call {target}() in crawler code; inject "
+                        "a seeded per-shard random.Random so shard order "
+                        "cannot reorder the stream",
+                    )
+                )
+        elif target in _WALL_CLOCKS:
+            findings.append(
+                self.finding(
+                    module,
+                    node.lineno,
+                    node.col_offset,
+                    f"wall-clock call {target}() in crawler code; use the "
+                    "injected crawl clock so every shard's records share "
+                    "one timeline",
+                )
+            )

@@ -45,6 +45,8 @@ class NodeEntry:
     outbound_success: bool = False
     latencies: list = field(default_factory=list)
     status_days: set = field(default_factory=set)
+    #: remote Disconnect reason label -> count (Table 1 input)
+    disconnects: dict = field(default_factory=dict)
 
     @property
     def active_span(self) -> float:
@@ -147,6 +149,9 @@ class NodeDB:
             entry.status_days.add(int(result.timestamp // SECONDS_PER_DAY))
         if result.dao_side is not None:
             entry.dao_side = result.dao_side
+        if result.disconnect_reason is not None:
+            label = result.disconnect_reason.label
+            entry.disconnects[label] = entry.disconnects.get(label, 0) + 1
         if result.latency and len(entry.latencies) < 32:
             entry.latencies.append(result.latency)
         return entry
@@ -213,6 +218,8 @@ class NodeDB:
                 mine.total_difficulty = entry.total_difficulty
             if entry.dao_side is not None:
                 mine.dao_side = entry.dao_side
+            for label, count in entry.disconnects.items():
+                mine.disconnects[label] = mine.disconnects.get(label, 0) + count
             mine.latencies = (mine.latencies + entry.latencies)[:32]
 
     # -- persistence ---------------------------------------------------------------
@@ -252,6 +259,10 @@ class NodeDB:
                     "outbound_success": entry.outbound_success,
                     "latencies": entry.latencies,
                     "status_days": sorted(entry.status_days),
+                    "disconnects": {
+                        label: entry.disconnects[label]
+                        for label in sorted(entry.disconnects)
+                    },
                 }
                 handle.write(json.dumps(record) + "\n")
                 count += 1
@@ -291,6 +302,7 @@ class NodeDB:
                     outbound_success=record.get("outbound_success", False),
                     latencies=list(record.get("latencies", [])),
                     status_days=set(record.get("status_days", [])),
+                    disconnects=dict(record.get("disconnects", {})),
                 )
                 db._entries[entry.node_id] = entry
         return db

@@ -80,12 +80,16 @@ def run_fleet(
     All instances start simultaneously, as in the paper's deployment.  With
     ``watch_bootstrap`` every instance tracks dials to the first bootstrap
     node (the Figure 8 experiment).  With ``telemetry_dir`` each instance
-    journals to ``<dir>/<name>.jsonl`` and the merged metrics snapshot is
-    written to ``<dir>/metrics.json`` when the run completes.
+    journals to ``<dir>/<name>.jsonl`` — or, when ``config.shards > 1``,
+    one journal per shard (``<dir>/<name>-shard<k>.jsonl``), which
+    ``repro.analysis.ingest.replay_journals`` merges back into a single
+    timeline — and the merged metrics snapshot is written to
+    ``<dir>/metrics.json`` when the run completes.
     """
     export_dir = Path(telemetry_dir) if telemetry_dir is not None else None
     if export_dir is not None:
         export_dir.mkdir(parents=True, exist_ok=True)
+    shard_count = max(1, int(config.shards)) if config is not None else 1
     bootstrap = world.bootstrap_addresses()
     clock = lambda: world.now  # noqa: E731 - the one shared timeline
     instances = []
@@ -94,17 +98,32 @@ def run_fleet(
     for index in range(instance_count):
         name = f"nodefinder-{index}"
         telemetry = NULL_TELEMETRY
+        shard_journals: list[EventJournal] | None = None
         if export_dir is not None:
-            path = export_dir / f"{name}.jsonl"
-            journal = EventJournal.open(path)
-            journals.append(journal)
-            journal_paths.append(path)
-            telemetry = Telemetry(journal=journal, clock=clock)
+            if shard_count > 1:
+                # one journal per shard (<name>-shard<k>.jsonl); the
+                # instance telemetry keeps the shared metrics registry
+                # while each shard journals its own dial stream
+                telemetry = Telemetry(clock=clock)
+                shard_journals = []
+                for shard_index in range(shard_count):
+                    path = export_dir / f"{name}-shard{shard_index}.jsonl"
+                    journal = EventJournal.open(path)
+                    journals.append(journal)
+                    journal_paths.append(path)
+                    shard_journals.append(journal)
+            else:
+                path = export_dir / f"{name}.jsonl"
+                journal = EventJournal.open(path)
+                journals.append(journal)
+                journal_paths.append(path)
+                telemetry = Telemetry(journal=journal, clock=clock)
         instance = NodeFinderInstance(
             world,
             config=config or NodeFinderConfig(seed=index),
             name=name,
             telemetry=telemetry,
+            shard_journals=shard_journals,
         )
         if watch_bootstrap and bootstrap:
             instance.watch_bootstrap(bootstrap[0].node_id)

@@ -30,9 +30,10 @@ from repro.crypto.keys import PrivateKey
 from repro.discovery.enode import ENode
 from repro.discovery.protocol import DiscoveryService
 from repro.nodefinder.database import NodeDB
+from repro.nodefinder.shard import NodeDBWriter, ShardPlan, ShardState
 from repro.nodefinder.wire import harvest
 from repro.resilience import LoopSupervisor, PeerScoreboard, RetryPolicy
-from repro.telemetry import Telemetry
+from repro.telemetry import EventJournal, Telemetry
 
 logger = logging.getLogger(__name__)
 
@@ -56,6 +57,12 @@ class LiveConfig:
     breaker_cooldown: float = 300.0
     #: restart budget for crashed crawler loops; None → package default
     supervisor_policy: Optional[RetryPolicy] = None
+    #: worker shards partitioning the enode keyspace by node-ID prefix;
+    #: 1 keeps the classic single static loop, N>1 runs one dial loop per
+    #: shard, all folding through one NodeDB writer queue
+    shards: int = 1
+    #: dynamic-dial targets a shard loop drains from its queue per pass
+    shard_batch: int = 8
 
 
 class LiveNodeFinder:
@@ -69,6 +76,8 @@ class LiveNodeFinder:
         clock: Callable[[], float] | None = None,
         rng: Optional[random.Random] = None,
         telemetry: Optional[Telemetry] = None,
+        shard_journals: Optional[list[EventJournal]] = None,
+        harvester: Optional[Callable] = None,
     ) -> None:
         self.private_key = private_key or PrivateKey.generate()
         self.config = config or LiveConfig()
@@ -99,6 +108,48 @@ class LiveNodeFinder:
         self._stopping = False
         self._dial_semaphore = asyncio.Semaphore(self.config.max_active_dials)
         self._dialed_once: set[bytes] = set()
+        #: injectable dial function (harvest-compatible); benchmarks and
+        #: tests swap in a stub to exercise the scheduler without sockets
+        self._harvest = harvester if harvester is not None else harvest
+        # -- sharding -------------------------------------------------------
+        self.plan = ShardPlan(max(1, int(self.config.shards)))
+        self.shard_count = self.plan.shards
+        #: every NodeDB/CrawlStats mutation goes through this single writer
+        #: (queued mode while sharded loops run; SHARD-SAFE pins the rule)
+        self.writer = NodeDBWriter(self.db, telemetry=self.telemetry)
+        self._shards: list[ShardState] = []
+        if shard_journals is not None and len(shard_journals) != self.shard_count:
+            raise ValueError(
+                f"{len(shard_journals)} shard journals for "
+                f"{self.shard_count} shards"
+            )
+        if self.shard_count > 1:
+            for index in range(self.shard_count):
+                if shard_journals is not None:
+                    # own journal, shared metrics registry: counters
+                    # aggregate exactly as unsharded while each shard's
+                    # event stream stays separable (and re-mergeable)
+                    shard_telemetry = Telemetry(
+                        registry=self.telemetry.registry,
+                        journal=shard_journals[index],
+                        clock=self.clock,
+                    )
+                else:
+                    shard_telemetry = self.telemetry
+                shard_breakers = PeerScoreboard(
+                    failure_threshold=self.config.breaker_threshold,
+                    cooldown=self.config.breaker_cooldown,
+                    clock=self.clock,
+                    on_transition=shard_telemetry.record_breaker,
+                )
+                self._shards.append(
+                    ShardState(
+                        index,
+                        shard_telemetry,
+                        shard_breakers,
+                        self.config.max_active_dials,
+                    )
+                )
 
     @property
     def stats(self) -> dict[str, int]:
@@ -129,10 +180,23 @@ class LiveNodeFinder:
         await self.discovery.listen()
         for node in bootstrap:
             await self.discovery.bond(node)
-        for name, loop in (
-            ("discovery", self._discovery_loop),
-            ("static", self._static_loop),
-        ):
+        loops: list[tuple[str, Callable]] = [
+            ("discovery", self._discovery_loop)
+        ]
+        if self.shard_count == 1:
+            loops.append(("static", self._static_loop))
+        else:
+            # sharded mode: the writer serializes folds behind a queue and
+            # each shard gets its own supervised dial loop
+            self.writer.start()
+            for shard in self._shards:
+                loops.append(
+                    (
+                        f"shard-{shard.index}",
+                        lambda shard=shard: self._shard_loop(shard),
+                    )
+                )
+        for name, loop in loops:
             supervisor = LoopSupervisor(
                 name,
                 loop,
@@ -181,6 +245,9 @@ class LiveNodeFinder:
         # (non-cancelled) loop is surfaced by the done-callback instead of
         # silently dropped; give those callbacks a tick to run
         await asyncio.sleep(0)
+        # drain queued folds before shutdown so the database reflects every
+        # dial the shards completed
+        await self.writer.close()
         if self.discovery is not None:
             self.discovery.close()
 
@@ -195,10 +262,22 @@ class LiveNodeFinder:
             fresh = [
                 node
                 for node in found
-                if node.node_id not in self.static_nodes
+                if not self._known_static(node.node_id)
                 and node.node_id != self.discovery.node_id
                 and node.node_id not in self._dialed_once
             ]
+            if self.shard_count > 1:
+                # route each target to the shard owning its keyspace slice;
+                # the shard loop batches the draws
+                for node in fresh:
+                    self._dialed_once.add(node.node_id)
+                    shard = self._shards[self.plan.shard_of(node.node_id)]
+                    shard.queue.put_nowait(node)
+                    shard.telemetry.shard_queue_depth.labels(
+                        shard=str(shard.index)
+                    ).set(float(shard.queue.qsize()))
+                await asyncio.sleep(self.config.lookup_interval)
+                continue
             if fresh:
                 # exception-safe fan-out: one crashing dial must not cancel
                 # its siblings or kill the loop
@@ -246,12 +325,88 @@ class LiveNodeFinder:
                 min(1.0, self.config.static_dial_interval / 10)
             )
 
+    async def _shard_loop(self, shard: ShardState) -> None:
+        """One shard's dial loop: due statics plus a batched queue draw.
+
+        The shard touches only its own :class:`ShardState` and the shared
+        :class:`NodeDBWriter` — no cross-shard state, no locks.
+        """
+        poll = min(1.0, self.config.static_dial_interval / 10)
+        while not self._stopping:
+            now = self.clock()
+            jobs: list[tuple[ENode, str]] = []
+            for node_id, (enode, next_dial) in list(shard.static_nodes.items()):
+                if next_dial <= now:
+                    shard.static_nodes[node_id] = (
+                        enode,
+                        now + self.config.static_dial_interval,
+                    )
+                    jobs.append((enode, "static-dial"))
+            try:
+                drawn = 0
+                if not jobs:
+                    # idle: block up to one poll interval for the first
+                    # queued target (this is also the loop's pacing sleep)
+                    node = await asyncio.wait_for(
+                        shard.queue.get(), timeout=poll
+                    )
+                    jobs.append((node, "dynamic-dial"))
+                    drawn = 1
+                # with work in hand, only drain what is already queued,
+                # up to the batch size — never park on an empty queue
+                while drawn < self.config.shard_batch:
+                    jobs.append((shard.queue.get_nowait(), "dynamic-dial"))
+                    drawn += 1
+            except (asyncio.TimeoutError, asyncio.QueueEmpty):
+                pass
+            shard.telemetry.shard_queue_depth.labels(
+                shard=str(shard.index)
+            ).set(float(shard.queue.qsize()))
+            if jobs:
+                # exception-safe fan-out, same contract as the unsharded loop
+                outcomes = await asyncio.gather(
+                    *(
+                        self._shard_dial(shard, enode, kind)
+                        for enode, kind in jobs
+                    ),
+                    return_exceptions=True,
+                )
+                for (enode, kind), outcome in zip(jobs, outcomes):
+                    if isinstance(outcome, asyncio.CancelledError):
+                        raise outcome
+                    if isinstance(outcome, BaseException):
+                        shard.telemetry.dial_failures.inc()
+                        logger.warning(
+                            "shard %d %s of %s crashed: %r",
+                            shard.index,
+                            kind,
+                            enode.short_id(),
+                            outcome,
+                        )
+            self._prune_shard(shard)
+
+    def _known_static(self, node_id: bytes) -> bool:
+        """Is this node already on a StaticNodes schedule (any shard)?"""
+        if self.shard_count == 1:
+            return node_id in self.static_nodes
+        return node_id in self._shards[self.plan.shard_of(node_id)].static_nodes
+
     def _prune_stale(self) -> None:
         horizon = self.clock() - self.config.stale_address_age
         for entry in list(self.db):
             if 0 <= entry.last_success < horizon:
                 self.static_nodes.pop(entry.node_id, None)
                 self.breakers.forget(entry.node_id)
+
+    def _prune_shard(self, shard: ShardState) -> None:
+        horizon = self.clock() - self.config.stale_address_age
+        for entry in list(self.db):
+            if (
+                0 <= entry.last_success < horizon
+                and entry.node_id in shard.static_nodes
+            ):
+                shard.static_nodes.pop(entry.node_id, None)
+                shard.breakers.forget(entry.node_id)
 
     # -- dialing ---------------------------------------------------------------
 
@@ -261,7 +416,7 @@ class LiveNodeFinder:
             return
         async with self._dial_semaphore:
             self._dialed_once.add(target.node_id)
-            result = await harvest(
+            result = await self._harvest(
                 target,
                 self.private_key,
                 connection_type=connection_type,
@@ -272,7 +427,7 @@ class LiveNodeFinder:
                 telemetry=self.telemetry,
             )
         self.telemetry.scheduled_dials.labels(type=connection_type).inc()
-        self.db.observe(result)
+        self.writer.submit(result)
         if result.outcome.completed:
             self.breakers.record_success(target.node_id)
             # §4: completed dials join StaticNodes for 30-minute re-dials
@@ -282,6 +437,41 @@ class LiveNodeFinder:
             )
         else:
             self.breakers.record_failure(target.node_id)
+
+    async def _shard_dial(
+        self, shard: ShardState, target: ENode, connection_type: str
+    ) -> None:
+        if not shard.breakers.allow(target.node_id):
+            shard.telemetry.breaker_skips.inc()
+            return
+        async with shard.semaphore:
+            self._dialed_once.add(target.node_id)
+            result = await self._harvest(
+                target,
+                self.private_key,
+                connection_type=connection_type,
+                dial_timeout=self.config.dial_timeout,
+                clock=self.clock,
+                retry=self.config.retry,
+                retry_rng=self.rng,
+                telemetry=shard.telemetry,
+            )
+        shard.telemetry.scheduled_dials.labels(type=connection_type).inc()
+        shard.telemetry.shard_dials.labels(
+            shard=str(shard.index), type=connection_type
+        ).inc()
+        # the only shared-state touch on the shard hot path: hand the
+        # result to the single writer queue
+        await self.writer.put(result)
+        if result.outcome.completed:
+            shard.breakers.record_success(target.node_id)
+            # §4: completed dials join StaticNodes for 30-minute re-dials
+            shard.static_nodes.setdefault(
+                target.node_id,
+                (target, self.clock() + self.config.static_dial_interval),
+            )
+        else:
+            shard.breakers.record_failure(target.node_id)
 
     async def crawl_for(self, seconds: float) -> NodeDB:
         """Convenience: run the loops for a wall-clock duration."""

@@ -26,11 +26,12 @@ from repro.discovery.routing import RoutingTable
 from repro.errors import DiscoveryError
 from repro.nodefinder.database import NodeDB
 from repro.nodefinder.records import CrawlStats
+from repro.nodefinder.shard import NodeDBWriter, ShardPlan
 from repro.simnet.clock import SECONDS_PER_DAY, SECONDS_PER_HOUR
 from repro.simnet.geo import Location
 from repro.simnet.node import DialOutcome, DialResult
 from repro.simnet.world import NodeAddress, SimWorld
-from repro.telemetry import NULL_TELEMETRY, Telemetry
+from repro.telemetry import NULL_TELEMETRY, EventJournal, Telemetry
 
 #: Kademlia fan-out per lookup round (§2.1).
 ALPHA = 3
@@ -61,6 +62,11 @@ class NodeFinderConfig:
     #: discovery:dial ratio shape while cutting event count ~60x (the
     #: scale factor is reported alongside Figure 5).
     dial_history_expiration: float = 30 * 60.0
+    #: worker shards partitioning the enode keyspace by node-ID prefix;
+    #: dials route to the shard owning the target and fold through one
+    #: NodeDBWriter, so any N produces the same NodeDB as shards=1 (the
+    #: shard-conformance suite pins this)
+    shards: int = 1
 
 
 class NodeFinderInstance:
@@ -73,6 +79,7 @@ class NodeFinderInstance:
         name: str = "nodefinder-0",
         location: Location | None = None,
         telemetry: Telemetry = NULL_TELEMETRY,
+        shard_journals: list[EventJournal] | None = None,
     ) -> None:
         self.telemetry = telemetry
         self.world = world
@@ -88,11 +95,47 @@ class NodeFinderInstance:
         self.table = RoutingTable.for_node_id(self.node_id)
         #: discovery pool: everything we can dial (address book)
         self.addresses: dict[bytes, NodeAddress] = {}
-        #: StaticNodes list: node id -> next re-dial time
-        self.static_nodes: dict[bytes, float] = {}
         #: dial history: node id -> last dynamic-dial attempt time
         self.dial_history: dict[bytes, float] = {}
         self._started = False
+        # -- sharding: partition by node-ID prefix, fold via one writer ------
+        self.shard_count = max(1, int(self.config.shards))
+        self.plan = ShardPlan(self.shard_count)
+        self.writer = NodeDBWriter(self.db, stats=self.stats, telemetry=telemetry)
+        #: per-shard StaticNodes lists: node id -> next re-dial time; a node
+        #: lives only in its owning shard's dict
+        self._statics: list[dict[bytes, float]] = [
+            {} for _ in range(self.shard_count)
+        ]
+        if shard_journals is not None:
+            if len(shard_journals) != self.shard_count:
+                raise ValueError(
+                    f"{len(shard_journals)} shard journals for "
+                    f"{self.shard_count} shards"
+                )
+            # each shard journals on its own file but shares the crawl's
+            # metrics registry, so counters aggregate exactly as unsharded
+            clock = lambda: world.now  # noqa: E731 - the world timeline
+            self._shard_telemetry = [
+                Telemetry(registry=telemetry.registry, journal=journal, clock=clock)
+                for journal in shard_journals
+            ]
+        else:
+            self._shard_telemetry = [telemetry] * self.shard_count
+
+    @property
+    def static_nodes(self) -> dict[bytes, float]:
+        """The StaticNodes schedule (merged read view across shards)."""
+        if self.shard_count == 1:
+            return self._statics[0]
+        merged: dict[bytes, float] = {}
+        for statics in self._statics:
+            merged.update(statics)
+        return merged
+
+    def _static_shard(self, node_id: bytes) -> dict[bytes, float]:
+        """The StaticNodes dict of the shard owning ``node_id``."""
+        return self._statics[self.plan.shard_of(node_id)]
 
     # -- lifecycle --------------------------------------------------------------
 
@@ -105,7 +148,7 @@ class NodeFinderInstance:
         for address in bootstrap or self.world.bootstrap_addresses():
             self._learn(address)
             # bootstrap nodes are static-dialed like any other node (§4)
-            self.static_nodes[address.node_id] = clock.now
+            self._static_shard(address.node_id)[address.node_id] = clock.now
         self.world.register_listener(self)
         clock.schedule_every(
             self.config.discovery_interval,
@@ -135,15 +178,25 @@ class NodeFinderInstance:
         self.stats.record_discovery(self.day)
         now = self.world.now
         horizon = now - self.config.dial_history_expiration
+        # batched target draw: filter every candidate first, then hand each
+        # shard its batch.  The filters depend only on state the dials in
+        # this tick cannot change (each node id appears once per lookup),
+        # so batching is dial-order neutral — shards=1 produces exactly the
+        # pre-shard interleaved sequence.
+        batches: list[list[NodeAddress]] = [[] for _ in range(self.shard_count)]
         for address in results:
             if address.node_id == self.node_id:
                 continue
-            if address.node_id in self.static_nodes:
+            shard_index = self.plan.shard_of(address.node_id)
+            if address.node_id in self._statics[shard_index]:
                 continue
             if self.dial_history.get(address.node_id, -1e18) > horizon:
                 continue
             self.dial_history[address.node_id] = now
-            self._dial(address, "dynamic-dial")
+            batches[shard_index].append(address)
+        for shard_index, batch in enumerate(batches):
+            for address in batch:
+                self._dial(address, "dynamic-dial", shard_index)
 
     def _lookup(self, target: bytes) -> list[NodeAddress]:
         """Iterative FIND_NODE toward ``target`` (paper §2.1 semantics).
@@ -202,55 +255,69 @@ class NodeFinderInstance:
 
     # -- dialing -------------------------------------------------------------------
 
-    def _dial(self, address: NodeAddress, connection_type: str) -> DialResult:
+    def _dial(
+        self, address: NodeAddress, connection_type: str, shard_index: int = 0
+    ) -> DialResult:
         result = self.world.dial(address, connection_type, self.location)
-        self._record(result)
+        self._record(result, shard_index)
         if result.outcome is not DialOutcome.TIMEOUT:
             # §4: successful dynamic-dials are added to StaticNodes and
             # re-dialed every 30 minutes; completion of any outbound attempt
             # pushes the next re-dial back.
-            self.static_nodes[address.node_id] = (
+            self._statics[shard_index][address.node_id] = (
                 self.world.now + self.config.static_dial_interval
             )
             self.addresses[address.node_id] = address
         return result
 
     def _static_tick(self) -> None:
-        """Re-dial every static node whose re-dial time has come."""
+        """Re-dial every static node whose re-dial time has come.
+
+        Shards are walked in index order; because the keyspace partition is
+        deterministic, the union of due nodes (and each node's owning
+        shard) is independent of the shard count.
+        """
         now = self.world.now
-        due = [
-            node_id
-            for node_id, next_dial in self.static_nodes.items()
+        due: list[tuple[int, bytes]] = [
+            (shard_index, node_id)
+            for shard_index, statics in enumerate(self._statics)
+            for node_id, next_dial in statics.items()
             if next_dial <= now
         ]
         cap = self.config.max_static_dials_per_tick
         if cap is not None and len(due) > cap:
+            # sample from a shard-count-independent order so the capped
+            # selection is identical for any N
+            due.sort(key=lambda item: item[1])
             due = self.rng.sample(due, cap)
-        for node_id in due:
+        for shard_index, node_id in due:
             address = self.addresses.get(node_id)
             if address is None:
-                self.static_nodes.pop(node_id, None)
+                self._statics[shard_index].pop(node_id, None)
                 continue
-            self.static_nodes[node_id] = now + self.config.static_dial_interval
+            self._statics[shard_index][node_id] = (
+                now + self.config.static_dial_interval
+            )
             result = self.world.dial(address, "static-dial", self.location)
-            self._record(result)
+            self._record(result, shard_index)
 
     def _prune_stale(self) -> None:
         """Drop addresses with no successful TCP connection for >24h (§4)."""
         for node_id in self.db.stale_addresses(
             self.world.now, self.config.stale_address_age
         ):
-            self.static_nodes.pop(node_id, None)
+            self._static_shard(node_id).pop(node_id, None)
 
     # -- incoming ------------------------------------------------------------------
 
     def handle_incoming(self, result: DialResult) -> None:
         """World-delivered inbound connection (Listener protocol)."""
-        self._record(result)
+        shard_index = self.plan.shard_of(result.node_id)
+        self._record(result, shard_index)
         # Inbound peers become static-dial targets too — how NodeFinder
         # keeps tabs on otherwise-unreachable nodes while they last.
-        if result.node_id not in self.static_nodes:
-            self.static_nodes[result.node_id] = (
+        if result.node_id not in self._statics[shard_index]:
+            self._statics[shard_index][result.node_id] = (
                 self.world.now + self.config.static_dial_interval
             )
             self._learn(
@@ -259,12 +326,15 @@ class NodeFinderInstance:
 
     # -- bookkeeping ------------------------------------------------------------------
 
-    def _record(self, result: DialResult) -> None:
-        self.stats.record_dial(self.day, result)
-        self.db.observe(result)
+    def _record(self, result: DialResult, shard_index: int = 0) -> None:
+        # every fold goes through the single writer (SHARD-SAFE invariant)
+        self.writer.submit(result)
         # simulated dials have no spans (no real stages ran), but they
-        # share the funnel counters and journal schema with live crawls
-        self.telemetry.record_dial(result, attempt=result.attempts)
+        # share the funnel counters and journal schema with live crawls;
+        # each shard journals on its own telemetry
+        self._shard_telemetry[shard_index].record_dial(
+            result, attempt=result.attempts
+        )
 
     def watch_bootstrap(self, node_id: bytes) -> None:
         self.stats.watch_bootstrap(node_id)

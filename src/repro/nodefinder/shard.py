@@ -1,0 +1,196 @@
+"""Sharded crawl scheduling: keyspace partition + the single-writer fold.
+
+The paper's NodeFinder sustained its dial rate with one process; scaling
+past that means running N dial workers without giving up the property
+every analysis depends on — *one* coherent
+:class:`~repro.nodefinder.database.NodeDB`.  This module provides the two
+pieces both the simulated and the live crawler build on:
+
+* :class:`ShardPlan` — a deterministic partition of the 64-byte enode
+  keyspace into N contiguous node-ID-prefix ranges.  Each target is owned
+  by exactly one shard, so no node is ever dialed by two workers and a
+  sharded crawl visits exactly the set an unsharded crawl would.
+* :class:`NodeDBWriter` — the single mutation point for shared crawl
+  state.  Every ``DialResult`` folds into the shared ``NodeDB`` (and
+  ``CrawlStats``) *only* through a writer: synchronously in direct mode
+  (simulation, unsharded live crawls), or via one ``asyncio.Queue``
+  drained by one consumer task in queued mode (sharded live crawls) — so
+  shard dial loops never contend on the database and there are no
+  cross-shard locks on the hot path.  The SHARD-SAFE lint family enforces
+  the invariant: ``.db.observe(...)`` outside a writer class is an error.
+
+Fold order across shards is not deterministic in queued mode, and does
+not need to be: ``NodeDB.observe`` folds per *node* in timestamp order
+(each node is owned by one shard, which preserves its dial order), and
+``CrawlStats`` day counters are order-insensitive sums and sets.  The
+shard-conformance suite pins entry-for-entry equality against the
+unsharded crawl.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import logging
+from typing import TYPE_CHECKING, Optional
+
+from repro.simnet.clock import SECONDS_PER_DAY
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.nodefinder.database import NodeDB, NodeEntry
+    from repro.nodefinder.records import CrawlStats
+    from repro.resilience import PeerScoreboard
+    from repro.simnet.node import DialResult
+    from repro.telemetry import Telemetry
+
+logger = logging.getLogger(__name__)
+
+#: the partition key is the first two node-ID bytes: 2^16 prefixes
+PREFIX_SPACE = 1 << 16
+
+
+class ShardPlan:
+    """Deterministic partition of the enode keyspace by node-ID prefix.
+
+    Shard ``k`` owns the contiguous 16-bit-prefix range
+    ``[ceil(k * 65536 / N), ceil((k + 1) * 65536 / N))``; with N=1 every
+    node lands in shard 0, so the unsharded crawl is the 1-shard plan.
+    """
+
+    def __init__(self, shards: int) -> None:
+        if shards < 1:
+            raise ValueError(f"shard count must be >= 1, got {shards}")
+        self.shards = shards
+
+    def shard_of(self, node_id: bytes) -> int:
+        """The index of the shard owning ``node_id`` (0 <= index < N)."""
+        prefix = int.from_bytes(node_id[:2], "big")
+        return prefix * self.shards // PREFIX_SPACE
+
+    def prefix_range(self, shard: int) -> tuple[int, int]:
+        """The half-open 16-bit prefix range ``[lo, hi)`` shard owns."""
+        if not 0 <= shard < self.shards:
+            raise ValueError(f"shard {shard} out of range 0..{self.shards - 1}")
+        lo = -(-shard * PREFIX_SPACE // self.shards)
+        hi = -(-(shard + 1) * PREFIX_SPACE // self.shards)
+        return lo, hi
+
+
+class NodeDBWriter:
+    """Single writer folding every ``DialResult`` into shared crawl state.
+
+    Direct mode (the default) folds synchronously on ``submit`` — the
+    simulation and unsharded live crawls keep their call-site semantics.
+    After ``start()`` the writer runs in queued mode: ``put`` enqueues
+    and one consumer task folds, so N shard loops write through one
+    serialization point without blocking each other.  ``close()`` drains
+    whatever is queued before stopping, so the database always reflects
+    every journaled dial at shutdown.
+    """
+
+    def __init__(
+        self,
+        db: "NodeDB",
+        stats: Optional["CrawlStats"] = None,
+        telemetry: Optional["Telemetry"] = None,
+    ) -> None:
+        self.db = db
+        self.stats = stats
+        self.telemetry = telemetry
+        self.folds = 0
+        self._queue: Optional[asyncio.Queue] = None
+        self._task: Optional[asyncio.Task] = None
+
+    @property
+    def queued(self) -> bool:
+        return self._queue is not None
+
+    def _fold(self, result: "DialResult") -> "NodeEntry":
+        if self.stats is not None:
+            self.stats.record_dial(
+                int(result.timestamp // SECONDS_PER_DAY), result
+            )
+        entry = self.db.observe(result)
+        self.folds += 1
+        if self.telemetry is not None:
+            self.telemetry.writer_folds.inc()
+        return entry
+
+    def submit(self, result: "DialResult") -> "NodeEntry":
+        """Fold one result synchronously (direct mode only)."""
+        if self._queue is not None:
+            raise RuntimeError("writer is in queued mode; use `await put(...)`")
+        return self._fold(result)
+
+    async def put(self, result: "DialResult") -> None:
+        """Hand one result to the writer (folds inline in direct mode)."""
+        if self._queue is None:
+            self._fold(result)
+            return
+        self._queue.put_nowait(result)
+        if self.telemetry is not None:
+            self.telemetry.writer_queue_depth.set(float(self._queue.qsize()))
+
+    def start(self) -> None:
+        """Switch to queued mode: one consumer task owns every fold."""
+        if self._queue is not None:
+            return
+        self._queue = asyncio.Queue()
+        self._task = asyncio.ensure_future(self._drain_forever())
+
+    async def _drain_forever(self) -> None:
+        assert self._queue is not None
+        while True:
+            result = await self._queue.get()
+            try:
+                self._fold(result)
+            except Exception:
+                logger.exception("writer failed to fold a dial result")
+            finally:
+                self._queue.task_done()
+            if self.telemetry is not None:
+                self.telemetry.writer_queue_depth.set(float(self._queue.qsize()))
+
+    async def close(self) -> None:
+        """Drain the queue, stop the consumer, return to direct mode."""
+        if self._task is None:
+            return
+        assert self._queue is not None
+        await self._queue.join()
+        pending: set[asyncio.Task] = {self._task}
+        while pending:
+            # same re-cancel idiom as LiveNodeFinder.stop(): a cancellation
+            # can be absorbed by a queue.get completion race on 3.11
+            for task in pending:
+                task.cancel()
+            _, pending = await asyncio.wait(pending, timeout=1.0)
+        self._task = None
+        self._queue = None
+
+
+class ShardState:
+    """One live dial worker's private state: queue, breakers, statics.
+
+    Everything here is owned by exactly one shard loop — the only shared
+    object a shard touches is the :class:`NodeDBWriter`, which is why the
+    hot path needs no locks.  ``telemetry`` shares the crawl's metrics
+    registry but carries the shard's own :class:`EventJournal`, so
+    per-shard journals merge back into one timeline via
+    ``repro.analysis.ingest.replay_journals``.
+    """
+
+    def __init__(
+        self,
+        index: int,
+        telemetry: "Telemetry",
+        breakers: "PeerScoreboard",
+        max_active_dials: int,
+    ) -> None:
+        self.index = index
+        self.telemetry = telemetry
+        self.breakers = breakers
+        #: dynamic-dial targets routed here by the discovery loop
+        self.queue: asyncio.Queue = asyncio.Queue()
+        #: per-shard dial-slot budget (total live concurrency is N * this)
+        self.semaphore = asyncio.Semaphore(max_active_dials)
+        #: node id -> (enode, next static dial time); owned by this shard
+        self.static_nodes: dict = {}

@@ -35,6 +35,7 @@ from repro.errors import HandshakeError, PeerDisconnected, ProtocolError, ReproE
 from repro.ethproto import messages as eth
 from repro.ethproto.handshake import harvest_dao_check, run_eth_handshake
 from repro.nodefinder.database import NodeDB
+from repro.nodefinder.shard import NodeDBWriter
 from repro.resilience import (
     PeerScoreboard,
     RetryPolicy,
@@ -319,6 +320,7 @@ async def crawl_targets(
     """
     key = key or PrivateKey.generate()
     db = NodeDB()
+    writer = NodeDBWriter(db, telemetry=telemetry)
     semaphore = asyncio.Semaphore(concurrency)
 
     async def one(target: ENode) -> None:
@@ -338,7 +340,7 @@ async def crawl_targets(
                 breaker.record_success(target.node_id)
             else:
                 breaker.record_failure(target.node_id)
-        db.observe(result)
+        writer.submit(result)
 
     target_list = list(targets)
     results = await asyncio.gather(

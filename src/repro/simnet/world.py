@@ -18,6 +18,7 @@ Figure 14 freshness come out of node lag, not hardcoding.
 from __future__ import annotations
 
 import random
+import zlib
 from dataclasses import dataclass, field
 from typing import NamedTuple, Optional, Protocol
 
@@ -259,6 +260,21 @@ class SimWorld:
 
     # -- crawler plumbing ----------------------------------------------------------
 
+    def _dial_rng(self, from_ip: str, to_ip: str, node_id: bytes) -> random.Random:
+        """A per-dial RNG seeded purely from the dial's identity.
+
+        RTT draws used to come off the shared world RNG, which made every
+        dial's latency depend on global dial *order*.  A sharded crawl
+        reorders dials within a tick, so latencies instead derive from
+        (who, whom, when, world seed) — the same dial draws the same RTT
+        no matter how many shards the crawler runs, which is what lets
+        the shard-conformance suite assert entry-for-entry DB equality.
+        """
+        seed = zlib.crc32(
+            f"{from_ip}|{to_ip}|{self.now:.6f}|{self.config.seed}".encode()
+        ) ^ zlib.crc32(node_id)
+        return random.Random(seed)
+
     def find_node_query(
         self, address: NodeAddress, target: bytes
     ) -> Optional[list[NodeAddress]]:
@@ -289,7 +305,11 @@ class SimWorld:
         hours (§5.2) — each is an ordinary, always-reachable DEVp2p node
         from the outside.
         """
-        rtt = self.geo.rtt(from_location, listener.location, self.rng)
+        rtt = self.geo.rtt(
+            from_location,
+            listener.location,
+            self._dial_rng(from_location.ip, listener.location.ip, listener.node_id),
+        )
         return DialResult(
             timestamp=self.now,
             node_id=listener.node_id,
@@ -333,7 +353,11 @@ class SimWorld:
                 outcome=DialOutcome.TIMEOUT,
                 duration=15.0,
             )
-        rtt = self.geo.rtt(from_location, node.spec.location, self.rng)
+        rtt = self.geo.rtt(
+            from_location,
+            node.spec.location,
+            self._dial_rng(from_location.ip, node.spec.location.ip, node.spec.node_id),
+        )
         return node.handle_connection(
             now=self.now,
             connection_type=connection_type,

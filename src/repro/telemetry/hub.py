@@ -84,6 +84,25 @@ class Telemetry:
         self.breaker_skips = registry_.counter(
             "crawler_breaker_skips_total", "dials skipped on an open breaker"
         )
+        # -- sharded scheduler ----------------------------------------------
+        self.shard_dials = registry_.counter(
+            "crawler_shard_dials_total",
+            "dials completed by each crawl shard, by connection type",
+            ("shard", "type"),
+        )
+        self.shard_queue_depth = registry_.gauge(
+            "crawler_shard_queue_depth",
+            "dynamic-dial targets waiting in each shard's queue",
+            ("shard",),
+        )
+        self.writer_folds = registry_.counter(
+            "crawler_writer_folds_total",
+            "dial results folded into the shared NodeDB by the writer",
+        )
+        self.writer_queue_depth = registry_.gauge(
+            "crawler_writer_queue_depth",
+            "dial results waiting in the NodeDB writer queue",
+        )
         self.loop_crashes = registry_.counter(
             "crawler_loop_crashes_total", "supervised crawler loop crashes"
         )

@@ -72,9 +72,22 @@ def merge_snapshots(
                 labelnames = list(family["labelnames"])
                 if names is not None:
                     if instance_label in labelnames:
+                        # name both colliding sources: the instance being
+                        # merged and whoever already stamped the label
+                        owners = sorted(
+                            {
+                                str(
+                                    series["labels"].get(
+                                        instance_label, "<unlabeled>"
+                                    )
+                                )
+                                for series in family["series"]
+                            }
+                        )
                         raise MetricError(
                             f"metric {name} already has a {instance_label!r} "
-                            "label; per-instance merge would collide"
+                            f"label (from {', '.join(owners)}); merging "
+                            f"instance {names[index]!r} on top would collide"
                         )
                     labelnames.append(instance_label)
                 merged = {

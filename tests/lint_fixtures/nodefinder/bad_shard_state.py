@@ -1,0 +1,25 @@
+"""SHARD-SAFE firing fixture: four ways to break shard conformance."""
+
+import random
+import time
+
+
+class ShardLoop:
+    def __init__(self, db):
+        self.db = db
+
+    def fold_directly(self, result):
+        # shared-state mutation outside a writer class
+        self.db.observe(result)
+
+    def merge_directly(self, db, entry):
+        # same invariant, bare db name
+        db.merge_entry(entry)
+
+    def jitter(self):
+        # global RNG: shard reordering would reorder the stream
+        return random.random()
+
+    def stamp(self):
+        # wall clock: shards must share the injected crawl clock
+        return time.monotonic()

@@ -1,0 +1,30 @@
+"""SHARD-SAFE clean fixture: the sanctioned single-writer idioms."""
+
+import random
+import time
+
+
+class NodeDBWriter:
+    def __init__(self, db):
+        self.db = db
+
+    def submit(self, result):
+        # writer classes ARE the single mutation point
+        return self.db.observe(result)
+
+
+class ShardLoop:
+    def __init__(self, writer, seed, clock=None):
+        self.writer = writer
+        # seeded per-shard rng, injected clock passed by reference
+        self.rng = random.Random(seed)
+        self.clock = clock if clock is not None else time.monotonic
+
+    def fold(self, result):
+        self.writer.submit(result)
+
+    def jitter(self):
+        return self.rng.uniform(0.0, 1.0)
+
+    def stamp(self):
+        return self.clock()

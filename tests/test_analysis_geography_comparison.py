@@ -89,14 +89,22 @@ class TestComparison:
         world, _, db = crawl
         reachable, unreachable = mainnet_snapshot_ids(db, 0.0, 2.0)
         assert reachable and unreachable
-        for node_id in list(reachable)[:20]:
+        # outbound success is hard evidence: every node classified
+        # reachable must be reachable in the world's ground truth
+        for node_id in reachable:
             node = world.nodes.get(node_id)
             if node is not None:
-                assert node.spec.reachable
-        for node_id in list(unreachable)[:20]:
-            node = world.nodes.get(node_id)
-            if node is not None:
-                assert not node.spec.reachable
+                assert node.spec.reachable, node_id.hex()
+        # "unreachable" is absence of evidence: a low-uptime reachable
+        # node can evade every outbound dial in the window, so only
+        # demand the set is dominated by ground-truth-unreachable nodes
+        truths = [
+            world.nodes[node_id].spec.reachable
+            for node_id in unreachable
+            if world.nodes.get(node_id) is not None
+        ]
+        assert truths
+        assert truths.count(True) <= max(1, len(truths) // 20)
 
     def test_table6_scaling(self):
         rows = build_table6(700, 200, scale_factor=10.0)

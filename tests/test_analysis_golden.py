@@ -26,6 +26,8 @@ from repro.analysis.report import (
     render_crawl_report,
     render_figure9,
     render_freshness,
+    render_sightings,
+    render_table1,
     render_table3,
 )
 
@@ -47,8 +49,17 @@ def check_golden(name: str, rendered: str) -> None:
 
 
 class TestGoldenSnapshots:
+    def test_table1(self, replayed):
+        check_golden("golden_table1.txt", render_table1(replayed.db))
+
     def test_table3(self, replayed):
         check_golden("golden_table3.txt", render_table3(replayed.db))
+
+    def test_sightings(self, replayed):
+        check_golden(
+            "golden_sightings.txt",
+            render_sightings(replayed.timelines.values()),
+        )
 
     def test_figure9(self, replayed):
         check_golden("golden_figure9.txt", render_figure9(replayed.db))
@@ -62,7 +73,9 @@ class TestGoldenSnapshots:
         report = render_crawl_report(
             replayed.db, head_height=0, total_days=replayed.total_days
         )
-        for heading in ("Table 3", "Figure 9", "Table 4", "Figure 14", "Churn"):
+        for heading in (
+            "Table 1", "Table 3", "Figure 9", "Table 4", "Figure 14", "Churn",
+        ):
             assert heading in report
 
 

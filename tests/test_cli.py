@@ -12,10 +12,12 @@ class TestParser:
 
     def test_all_commands_registered(self):
         parser = build_parser()
-        for command in (
-            "demo", "simulate", "casestudy", "distance", "telemetry", "analyze",
+        enode = "enode://" + "ab" * 64 + "@127.0.0.1:30303"
+        for argv in (
+            ["demo"], ["simulate"], ["casestudy"], ["distance"],
+            ["telemetry"], ["analyze"], ["crawl", "--enode", enode],
         ):
-            args = parser.parse_args([command] if command != "demo" else ["demo"])
+            args = parser.parse_args(argv)
             assert callable(args.func)
 
 

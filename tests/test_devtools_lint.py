@@ -33,6 +33,7 @@ RULE_CODES = {
     "RETRY-SAFE",
     "OBS-CLOCK",
     "INGEST-PURE",
+    "SHARD-SAFE",
 }
 
 
@@ -59,6 +60,7 @@ FIRING = {
     "exc_silent/bad_silent.py": {"EXC-SILENT": 2},
     "crypto/bad_mixing.py": {"CRYPTO-BYTES": 4},
     "nodefinder/bad_raw_await.py": {"RETRY-SAFE": 3},
+    "nodefinder/bad_shard_state.py": {"SHARD-SAFE": 4},
     "telemetry/bad_wallclock.py": {"OBS-CLOCK": 3},
     "analysis/bad_impure.py": {"INGEST-PURE": 4},
 }
@@ -70,6 +72,7 @@ CLEAN = [
     "exc_silent/clean_narrow.py",
     "crypto/clean_bytes.py",
     "nodefinder/clean_deadline.py",
+    "nodefinder/clean_shard_writer.py",
     "telemetry/clean_injected.py",
     "analysis/clean_pure.py",
 ]

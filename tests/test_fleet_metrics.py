@@ -134,6 +134,20 @@ class TestMergeGuards:
         with pytest.raises(MetricError, match="instance"):
             merge_snapshots([registry.snapshot()], names=["a"])
 
+    def test_collision_error_names_both_sources(self):
+        # regression: the guard used to say only that a label existed,
+        # leaving the operator to guess which snapshot brought it in
+        registry = MetricsRegistry()
+        registry.counter("x_total", "x", labelnames=("instance",)).labels(
+            instance="rogue"
+        ).inc()
+        with pytest.raises(MetricError) as excinfo:
+            merge_snapshots([registry.snapshot()], names=["crawler-0"])
+        message = str(excinfo.value)
+        assert "x_total" in message
+        assert "rogue" in message, message
+        assert "crawler-0" in message, message
+
     def test_type_mismatch_rejected(self):
         counters = MetricsRegistry()
         counters.counter("x_total", "x").labels().inc()
