@@ -51,6 +51,7 @@ from typing import Dict, Iterable, List, Optional, TextIO, Union
 from repro.devp2p.messages import DisconnectReason
 from repro.nodefinder.database import NodeDB
 from repro.nodefinder.records import CrawlStats
+from repro.nodefinder.shard import NodeDBWriter
 from repro.simnet.clock import SECONDS_PER_DAY
 from repro.simnet.node import DialOutcome, DialResult
 from repro.telemetry.journal import Event, read_events
@@ -186,17 +187,16 @@ def replay(events: Iterable[Event]) -> ReplayedCrawl:
     journals still yield the best view their events support.
     """
     out = ReplayedCrawl()
+    # replayed dials fold through the same single-writer path a live crawl
+    # uses (direct mode), so the OWNERSHIP invariant holds here too
+    writer = NodeDBWriter(out.db, stats=out.stats)
     pending: Dict[bytes, _PendingDial] = {}
 
     def flush(node_id: bytes) -> None:
         open_dial = pending.pop(node_id, None)
         if open_dial is None:
             return
-        result = open_dial.result()
-        out.db.observe(result)
-        out.stats.record_dial(
-            int(result.timestamp // SECONDS_PER_DAY), result
-        )
+        writer.submit(open_dial.result())
         out.dials_replayed += 1
 
     for lineno, event in enumerate(events, start=1):

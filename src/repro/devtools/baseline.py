@@ -1,0 +1,73 @@
+"""The committed findings baseline: ratchet debt down, block new debt.
+
+A new rule family landing on a living tree faces a bootstrap problem:
+either it ships lax enough to pass everything (useless) or the landing
+PR must fix every historical finding at once (never happens).  The
+baseline resolves it: known findings are committed to
+``reprolint-baseline.json`` keyed by stable fingerprint, the lint exits
+clean *modulo* those entries, and CI separately fails when the baseline
+contains fingerprints that no longer fire — so the file only ever
+shrinks and every new finding is a hard error from day one.
+
+Fingerprints (see :func:`repro.devtools.findings.fingerprint_findings`)
+hash (path, code, message, occurrence ordinal), not line numbers, so
+unrelated edits above a baselined finding do not churn the file.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Sequence
+
+from repro.devtools.findings import Finding
+
+FORMAT_VERSION = 1
+
+
+def load(path: Path) -> set[str]:
+    """The baselined fingerprints; raises ValueError on a malformed file."""
+    payload = json.loads(path.read_text(encoding="utf-8"))
+    if not isinstance(payload, dict) or "findings" not in payload:
+        raise ValueError(f"{path}: not a reprolint baseline file")
+    if payload.get("version") != FORMAT_VERSION:
+        raise ValueError(
+            f"{path}: unsupported baseline version {payload.get('version')!r}"
+        )
+    return set(payload["findings"])
+
+
+def render(findings: Sequence[Finding]) -> str:
+    """Serialise findings as a baseline file (stable, diff-friendly)."""
+    entries = {
+        finding.fingerprint: "{} {}: {}".format(
+            finding.code, finding.path.replace("\\", "/"), finding.message
+        )
+        for finding in sorted(findings)
+        if finding.fingerprint
+    }
+    payload = {
+        "_comment": (
+            "reprolint baseline: known findings, keyed by stable "
+            "fingerprint. Entries may only be removed (fix the finding, "
+            "re-run with --write-baseline); CI fails on entries that no "
+            "longer fire and on findings not listed here."
+        ),
+        "version": FORMAT_VERSION,
+        "findings": {key: entries[key] for key in sorted(entries)},
+    }
+    return json.dumps(payload, indent=2) + "\n"
+
+
+def split(
+    findings: Sequence[Finding], baselined: set[str]
+) -> tuple[list[Finding], list[Finding], set[str]]:
+    """(new, known, stale) relative to a baselined fingerprint set.
+
+    ``stale`` is the ratchet: fingerprints the baseline still lists but
+    the tree no longer produces — the entries a fixing PR must delete.
+    """
+    new = [f for f in findings if f.fingerprint not in baselined]
+    known = [f for f in findings if f.fingerprint in baselined]
+    stale = baselined - {f.fingerprint for f in findings}
+    return new, known, stale

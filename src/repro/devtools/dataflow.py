@@ -1,0 +1,463 @@
+"""Dataflow over :mod:`repro.devtools.cfg`: who reads what across awaits.
+
+The RACE family needs one question answered flow-sensitively: *does a
+value read from shared state survive an await and then feed a write back
+into that same state?*  This module provides the pieces:
+
+* a symbol model — ``self.X`` attributes and module-level globals are
+  the shared state a concurrently-scheduled task could mutate; locals
+  are private to the running coroutine;
+* per-statement read/write extraction, distinguishing *value* reads
+  (subscripts, accessor methods, membership tests, call arguments) from
+  opaque method calls, and *writes* (assignments plus known container
+  mutators) from reads;
+* a taint lattice tracking, per local variable, which shared symbols its
+  value was derived from, whether an await has happened since the read,
+  and which locks were held at the read;
+* a worklist fixpoint driver propagating taint around loops — the
+  iteration-k read that races the iteration-k+1 write is exactly what a
+  single linear scan misses.
+
+Everything here is lint-grade: one level of pointer indirection, no
+interprocedural flow (a method call is an opaque value), unions at joins.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Optional
+
+from repro.devtools.cfg import CFG, CFGNode
+
+__all__ = [
+    "Symbol",
+    "StmtEffects",
+    "Taint",
+    "effects",
+    "module_globals",
+    "stale_writes",
+    "StaleWrite",
+]
+
+#: container/queue methods that mutate their receiver in place
+MUTATORS = {
+    "append",
+    "appendleft",
+    "add",
+    "clear",
+    "discard",
+    "extend",
+    "insert",
+    "pop",
+    "popleft",
+    "popitem",
+    "put_nowait",
+    "remove",
+    "setdefault",
+    "update",
+}
+
+#: methods that return a view/copy of the receiver's state (value reads)
+ACCESSORS = {
+    "copy",
+    "get",
+    "get_nowait",
+    "items",
+    "keys",
+    "most_common",
+    "qsize",
+    "values",
+}
+
+
+@dataclass(frozen=True)
+class Symbol:
+    """One piece of shared mutable state: ``self.X`` or a module global."""
+
+    kind: str  # "attr" (self.X) | "global"
+    name: str
+
+    def __str__(self) -> str:
+        return f"self.{self.name}" if self.kind == "attr" else self.name
+
+
+@dataclass(frozen=True)
+class Taint:
+    """A local's value derives from ``symbol``, read at ``line``."""
+
+    symbol: Symbol
+    line: int
+    awaited: bool
+    locks: frozenset
+
+    def aged(self) -> "Taint":
+        return self if self.awaited else Taint(self.symbol, self.line, True, self.locks)
+
+
+@dataclass
+class StmtEffects:
+    """What one CFG node does to the symbol model."""
+
+    reads: set  # set[Symbol] — value reads of shared state
+    writes: set  # set[Symbol] — assignments / container mutations
+    #: locals whose value this node (re)defines, with the symbols (and
+    #: tainted locals) their new value derives from
+    defines: dict  # local name -> (set[Symbol], set[local names])
+    #: locals whose current value the node uses (call args, rhs, targets)
+    uses: set  # set[local names]
+
+
+def module_globals(tree: ast.Module) -> set[str]:
+    """Names bound at module top level (the shared-global symbol space)."""
+    names: set[str] = set()
+    for stmt in tree.body:
+        if isinstance(stmt, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+            targets = stmt.targets if isinstance(stmt, ast.Assign) else [stmt.target]
+            for target in targets:
+                for node in ast.walk(target):
+                    if isinstance(node, ast.Name):
+                        names.add(node.id)
+    return names
+
+
+def _self_name(func: ast.AST) -> Optional[str]:
+    args = getattr(func, "args", None)
+    if args is None or not args.args:
+        return None
+    first = args.args[0].arg
+    return first if first in ("self", "cls") else None
+
+
+def _local_names(func: ast.AST) -> set[str]:
+    """Every name bound inside the function (params, assigns, loops, withs)."""
+    names: set[str] = set()
+    args = getattr(func, "args", None)
+    if args is not None:
+        for arg in (
+            list(args.posonlyargs)
+            + list(args.args)
+            + list(args.kwonlyargs)
+            + ([args.vararg] if args.vararg else [])
+            + ([args.kwarg] if args.kwarg else [])
+        ):
+            names.add(arg.arg)
+    declared: set[str] = set()
+    for node in ast.walk(func):
+        if isinstance(node, ast.Name) and isinstance(node.ctx, (ast.Store, ast.Del)):
+            names.add(node.id)
+        elif isinstance(node, (ast.Global, ast.Nonlocal)):
+            # collected separately: ast.walk is breadth-first, so the
+            # declaration can be visited before the Name stores it governs
+            declared.update(node.names)
+    return names - declared
+
+
+class SymbolModel:
+    """Resolves AST expressions to tracked shared-state symbols."""
+
+    def __init__(self, func: ast.AST, globals_: set[str]) -> None:
+        self.self_name = _self_name(func)
+        self.locals = _local_names(func)
+        # a name is a tracked global only when the module binds it and the
+        # function does not shadow it with a local
+        self.globals = {
+            name for name in globals_ if name not in self.locals
+        } | set(self._declared_globals(func))
+
+    @staticmethod
+    def _declared_globals(func: ast.AST) -> Iterator[str]:
+        for node in ast.walk(func):
+            if isinstance(node, ast.Global):
+                yield from node.names
+
+    def symbol_of(self, expr: ast.AST) -> Optional[Symbol]:
+        """The tracked symbol an expression *is* (not merely mentions)."""
+        if isinstance(expr, ast.Attribute):
+            base = expr.value
+            if (
+                isinstance(base, ast.Name)
+                and self.self_name is not None
+                and base.id == self.self_name
+            ):
+                return Symbol("attr", expr.attr)
+            return None
+        if isinstance(expr, ast.Name) and expr.id in self.globals:
+            return Symbol("global", expr.id)
+        return None
+
+    def root_symbol(self, expr: ast.AST) -> Optional[Symbol]:
+        """The tracked symbol at the root of an lvalue/receiver chain.
+
+        ``self.x[k]``, ``self.x.field`` and ``self.x`` all root at
+        ``self.x``; deeper chains (``self.x.y[k]``) root at ``self.x``
+        too — mutating any part of the object graph hung off an attribute
+        is a mutation of that attribute's referent.
+        """
+        node = expr
+        while isinstance(node, (ast.Subscript, ast.Attribute, ast.Starred)):
+            direct = self.symbol_of(node)
+            if direct is not None:
+                return direct
+            node = node.value
+        return self.symbol_of(node)
+
+
+def effects(node: CFGNode, model: SymbolModel) -> StmtEffects:
+    """Reads/writes/defines/uses of one CFG node's own expressions."""
+    from repro.devtools.cfg import _own_expressions  # shared decomposition
+
+    reads: set = set()
+    writes: set = set()
+    defines: dict = {}
+    uses: set = set()
+
+    exprs = _own_expressions(node.stmt)
+
+    def scan_value(expr: ast.AST, into_reads: set, into_uses: set) -> None:
+        """Collect value reads of tracked symbols + uses of locals."""
+        # names bound by comprehension generators inside this expression
+        # are comprehension-scoped, not uses of the same-named function
+        # local (a listcomp's `node` must not alias a loop's `node`)
+        comp_bound = {
+            name.id
+            for sub in ast.walk(expr)
+            if isinstance(sub, ast.comprehension)
+            for name in ast.walk(sub.target)
+            if isinstance(name, ast.Name)
+        }
+        for sub in ast.walk(expr):
+            if isinstance(sub, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                continue  # nested bodies are separate scopes
+            if isinstance(sub, ast.Name) and isinstance(sub.ctx, ast.Load):
+                if sub.id in comp_bound:
+                    continue
+                if sub.id in model.locals:
+                    into_uses.add(sub.id)
+                elif sub.id in model.globals:
+                    into_reads.add(Symbol("global", sub.id))
+            elif isinstance(sub, ast.Attribute) and isinstance(sub.ctx, ast.Load):
+                symbol = model.symbol_of(sub)
+                if symbol is None:
+                    continue
+                # receiver position of a call: only accessor methods and
+                # known mutators touch the receiver's *state*; any other
+                # `self.x.method()` is opaque (it may not read x's value)
+                parent_call = _receiver_call(expr, sub)
+                if parent_call is None:
+                    into_reads.add(symbol)
+                elif parent_call in ACCESSORS:
+                    into_reads.add(symbol)
+                elif parent_call in MUTATORS:
+                    writes.add(symbol)
+                # else: opaque method call — neither read nor write
+
+    def record_write_target(target: ast.AST) -> None:
+        symbol = model.root_symbol(target)
+        if symbol is not None:
+            writes.add(symbol)
+            # a subscript/attribute store also *uses* the index expressions
+            for sub in ast.walk(target):
+                if isinstance(sub, ast.Name) and isinstance(sub.ctx, ast.Load):
+                    if sub.id in model.locals:
+                        uses.add(sub.id)
+                    elif sub.id in model.globals:
+                        reads.add(Symbol("global", sub.id))
+
+    stmt = node.stmt
+    if isinstance(stmt, ast.Assign):
+        value_reads: set = set()
+        value_uses: set = set()
+        scan_value(stmt.value, value_reads, value_uses)
+        reads |= value_reads
+        uses |= value_uses
+        for target in stmt.targets:
+            if isinstance(target, ast.Name) and target.id in model.locals:
+                defines[target.id] = (set(value_reads), set(value_uses))
+            else:
+                record_write_target(target)
+    elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+        value_reads, value_uses = set(), set()
+        scan_value(stmt.value, value_reads, value_uses)
+        reads |= value_reads
+        uses |= value_uses
+        if isinstance(stmt.target, ast.Name) and stmt.target.id in model.locals:
+            defines[stmt.target.id] = (set(value_reads), set(value_uses))
+        else:
+            record_write_target(stmt.target)
+    elif isinstance(stmt, ast.AugAssign):
+        value_reads, value_uses = set(), set()
+        scan_value(stmt.value, value_reads, value_uses)
+        reads |= value_reads
+        uses |= value_uses
+        target_symbol = model.root_symbol(stmt.target)
+        if target_symbol is not None:
+            # x += v both reads and writes x
+            reads.add(target_symbol)
+            writes.add(target_symbol)
+            record_write_target(stmt.target)
+        elif isinstance(stmt.target, ast.Name) and stmt.target.id in model.locals:
+            uses.add(stmt.target.id)
+            existing = defines.setdefault(stmt.target.id, (set(), set()))
+            existing[0].update(value_reads)
+            existing[1].update(value_uses | {stmt.target.id})
+    elif isinstance(stmt, (ast.For, ast.AsyncFor)) and node.kind == "iter":
+        value_reads, value_uses = set(), set()
+        scan_value(stmt.iter, value_reads, value_uses)
+        reads |= value_reads
+        uses |= value_uses
+        for sub in ast.walk(stmt.target):
+            if isinstance(sub, ast.Name) and isinstance(sub.ctx, ast.Store):
+                defines[sub.id] = (set(value_reads), set(value_uses))
+    elif isinstance(stmt, (ast.With, ast.AsyncWith)) and node.kind == "enter":
+        for item in stmt.items:
+            value_reads, value_uses = set(), set()
+            scan_value(item.context_expr, value_reads, value_uses)
+            reads |= value_reads
+            uses |= value_uses
+            if item.optional_vars is not None and isinstance(
+                item.optional_vars, ast.Name
+            ):
+                defines[item.optional_vars.id] = (
+                    set(value_reads),
+                    set(value_uses),
+                )
+    else:
+        for expr in exprs:
+            scan_value(expr, reads, uses)
+        if isinstance(stmt, ast.Delete):
+            for target in stmt.targets:
+                record_write_target(target)
+
+    return StmtEffects(reads=reads, writes=writes, defines=defines, uses=uses)
+
+
+def _receiver_call(root: ast.AST, attribute: ast.Attribute) -> Optional[str]:
+    """If ``attribute`` is the receiver of ``attribute.method(...)`` inside
+    ``root``, return the method name, else None."""
+    for sub in ast.walk(root):
+        if (
+            isinstance(sub, ast.Call)
+            and isinstance(sub.func, ast.Attribute)
+            and sub.func.value is attribute
+        ):
+            return sub.func.attr
+    return None
+
+
+# -- the stale-write analysis ------------------------------------------------
+
+
+@dataclass(frozen=True)
+class StaleWrite:
+    """A write of shared state fed by a value read before an await."""
+
+    symbol: Symbol
+    write_line: int
+    write_col: int
+    read_line: int
+    #: "local" when the stale value flowed through a variable, "direct"
+    #: when a single statement reads, awaits, and writes the same symbol
+    via: str
+
+
+def _join(a: dict, b: dict) -> dict:
+    if not a:
+        return {k: set(v) for k, v in b.items()}
+    out = {k: set(v) for k, v in a.items()}
+    for key, taints in b.items():
+        out.setdefault(key, set()).update(taints)
+    return out
+
+
+def _same(a: dict, b: dict) -> bool:
+    return a.keys() == b.keys() and all(a[k] == b[k] for k in a)
+
+
+def stale_writes(cfg: CFG, model: SymbolModel) -> list[StaleWrite]:
+    """All writes of a tracked symbol fed by an awaited-over read of it.
+
+    Runs a worklist fixpoint over the CFG.  State: local name -> set of
+    :class:`Taint`.  An await ages every taint; a (re)definition replaces
+    a local's taints with its new derivation; a write of symbol ``V``
+    that *uses* a local carrying an aged taint of ``V`` — with no lock
+    common to the read and the write — is reported.
+    """
+    node_effects = {node.index: effects(node, model) for node in cfg.statement_nodes()}
+    in_states: dict[int, dict] = {node.index: {} for node in cfg.nodes}
+    findings: dict[tuple, StaleWrite] = {}
+
+    def transfer(node: CFGNode, state: dict) -> dict:
+        eff = node_effects.get(node.index)
+        if eff is None:
+            return state
+        out = {k: set(v) for k, v in state.items()}
+        if node.awaits:
+            out = {k: {t.aged() for t in v} for k, v in out.items()}
+        awaited_here = node.awaits
+        # report: writes fed by a stale (awaited-over) read of the same symbol
+        for symbol in eff.writes:
+            found: Optional[tuple] = None
+            for used in sorted(eff.uses):
+                for taint in state.get(used, ()):
+                    if taint.symbol != symbol:
+                        continue
+                    if not (taint.awaited or awaited_here):
+                        continue
+                    if taint.locks & node.locks:
+                        continue  # same lock held at read and at write
+                    found = (taint, "local")
+                    break
+                if found is not None:
+                    break
+            if (
+                found is None
+                and awaited_here
+                and symbol in eff.reads
+                and not node.locks
+            ):
+                # one statement that reads V, awaits, then stores into V
+                found = (Taint(symbol, node.line, True, frozenset()), "direct")
+            if found is not None:
+                taint, via = found
+                key = (symbol, node.line)
+                findings.setdefault(
+                    key,
+                    StaleWrite(
+                        symbol=symbol,
+                        write_line=node.line,
+                        write_col=getattr(node.stmt, "col_offset", 0),
+                        read_line=taint.line,
+                        via=via,
+                    ),
+                )
+        # gen: definitions derive taints from value reads + used locals
+        for local, (symbols, used_locals) in eff.defines.items():
+            new: set = {
+                Taint(symbol, node.line, awaited_here, node.locks)
+                for symbol in symbols
+            }
+            for used in used_locals:
+                for taint in state.get(used, ()):
+                    new.add(taint.aged() if awaited_here else taint)
+            out[local] = new
+        return out
+
+    # standard forward may-analysis worklist; every node seeds the list so
+    # unreachable-from-changes nodes are still processed at least once
+    worklist: list[CFGNode] = list(cfg.nodes)
+    safety = 50 * (len(cfg.nodes) + 1) ** 2
+    steps = 0
+    while worklist and steps < safety:
+        steps += 1
+        node = worklist.pop(0)
+        out = transfer(node, in_states[node.index])
+        for succ in node.succ:
+            merged = _join(in_states[succ.index], out)
+            if not _same(merged, in_states[succ.index]):
+                in_states[succ.index] = merged
+                if succ not in worklist:
+                    worklist.append(succ)
+    return sorted(
+        findings.values(), key=lambda sw: (sw.write_line, str(sw.symbol))
+    )

@@ -1,7 +1,20 @@
 """The ``reprolint`` command line: ``python -m repro.devtools.lint src/``.
 
-Exit status: 0 when the tree is clean, 1 when any finding (or parse
-error) is reported, 2 on usage errors (argparse's convention).
+Exit status: 0 when the tree is clean (modulo a ``--baseline`` file when
+one is given), 1 when any new finding (or parse error, or baseline
+drift under ``--fail-on-baseline-drift``) is reported, 2 on usage
+errors (argparse's convention).
+
+Baseline workflow::
+
+    # land a new rule family without fixing history in one PR:
+    python -m repro.devtools.lint src/ --write-baseline reprolint-baseline.json
+    # day to day: clean modulo the committed debt, strict on new findings
+    python -m repro.devtools.lint src/ --baseline reprolint-baseline.json
+    # CI ratchet: also fail when baselined entries no longer fire,
+    # so the file only ever shrinks
+    python -m repro.devtools.lint src/ --baseline reprolint-baseline.json \
+        --fail-on-baseline-drift
 """
 
 from __future__ import annotations
@@ -10,18 +23,21 @@ import argparse
 import json
 import sys
 from collections import Counter
+from pathlib import Path
 from typing import Sequence
 
-from repro.devtools.registry import all_rules, known_codes
-from repro.devtools.runner import iter_python_files, lint_paths
+from repro.devtools import baseline as baseline_mod
+from repro.devtools import sarif
+from repro.devtools.registry import all_rules, unknown_selectors
+from repro.devtools.runner import run_paths
 
 
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.devtools.lint",
         description=(
-            "reprolint: AST checks for the project's reproducibility, "
-            "asyncio, and bytes-hygiene invariants"
+            "reprolint: AST and flow checks for the project's "
+            "reproducibility, asyncio, and bytes-hygiene invariants"
         ),
     )
     parser.add_argument(
@@ -29,19 +45,44 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "sarif"),
         default="text",
         help="output format (default: text)",
     )
     parser.add_argument(
         "--select",
         metavar="CODES",
-        help="comma-separated rule codes to run (default: all)",
+        help=(
+            "comma-separated rule codes or family prefixes to run "
+            "(e.g. RACE selects every RACE-* rule; default: all)"
+        ),
     )
     parser.add_argument(
         "--ignore",
         metavar="CODES",
-        help="comma-separated rule codes to skip",
+        help="comma-separated rule codes or family prefixes to skip",
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="FILE",
+        help=(
+            "fingerprint baseline file: findings listed there are "
+            "reported as known debt and do not fail the run"
+        ),
+    )
+    parser.add_argument(
+        "--fail-on-baseline-drift",
+        action="store_true",
+        help=(
+            "with --baseline: also exit 1 when the baseline contains "
+            "fingerprints that no longer fire (forces the file to shrink "
+            "as findings are fixed)"
+        ),
+    )
+    parser.add_argument(
+        "--write-baseline",
+        metavar="FILE",
+        help="write the current findings as a new baseline file and exit 0",
     )
     parser.add_argument(
         "--list-rules",
@@ -59,7 +100,7 @@ def _split_codes(
     codes = [code.strip() for code in raw.split(",") if code.strip()]
     if not codes:
         parser.error("expected at least one rule code (e.g. SIM-DET)")
-    unknown = set(codes) - known_codes()
+    unknown = unknown_selectors(codes)
     if unknown:
         parser.error(f"unknown rule code(s): {', '.join(sorted(unknown))}")
     return codes
@@ -72,44 +113,100 @@ def main(argv: Sequence[str] | None = None) -> int:
     if args.list_rules:
         for rule in all_rules():
             where = ", ".join(rule.scope) if rule.scope else "everywhere"
-            print(f"{rule.code:14} [{where}] {rule.description}")
+            print(f"{rule.code:18} [{where}] {rule.description}")
         return 0
 
     select = _split_codes(args.select, parser)
     ignore = _split_codes(args.ignore, parser)
-    checked = iter_python_files(args.paths)
-    if not checked:
+    if args.fail_on_baseline_drift and not args.baseline:
+        parser.error("--fail-on-baseline-drift requires --baseline")
+
+    run = run_paths(args.paths, select=select, ignore=ignore)
+    if not run.checked_files:
         # a typo'd path must not read as "clean" in CI
         print(
             f"error: no python files found under: {', '.join(args.paths)}",
             file=sys.stderr,
         )
         return 2
-    findings = lint_paths(args.paths, select=select, ignore=ignore)
-    counts = Counter(finding.code for finding in findings)
 
-    if args.format == "json":
+    if args.write_baseline:
+        Path(args.write_baseline).write_text(
+            baseline_mod.render(run.findings), encoding="utf-8"
+        )
+        print(
+            f"reprolint: wrote {len(run.findings)} finding(s) to "
+            f"{args.write_baseline}",
+            file=sys.stderr,
+        )
+        return 0
+
+    baselined: set = set()
+    if args.baseline:
+        try:
+            baselined = baseline_mod.load(Path(args.baseline))
+        except FileNotFoundError:
+            parser.error(f"baseline file not found: {args.baseline}")
+        except (ValueError, json.JSONDecodeError) as exc:
+            parser.error(f"bad baseline file: {exc}")
+    new, known, stale = baseline_mod.split(run.findings, baselined)
+    drift_failed = bool(args.fail_on_baseline_drift and stale)
+
+    if args.format == "sarif":
+        log = sarif.render(
+            run.findings,
+            all_rules(),
+            baseline=baselined if args.baseline else None,
+        )
+        print(json.dumps(log, indent=2))
+    elif args.format == "json":
+        counts = Counter(finding.code for finding in new)
         print(
             json.dumps(
                 {
-                    "checked_files": len(checked),
-                    "findings": [finding.to_json() for finding in findings],
+                    "checked_files": len(run.checked_files),
+                    "findings": [finding.to_json() for finding in new],
                     "counts": dict(sorted(counts.items())),
+                    "suppressed": run.suppressed,
+                    "baselined": len(known),
+                    "baseline_stale": sorted(stale),
                 },
                 indent=2,
             )
         )
     else:
-        for finding in findings:
+        for finding in new:
             print(finding.format_text())
-        summary = (
-            f"reprolint: {len(findings)} finding(s) in {len(checked)} file(s)"
-            if findings
-            else f"reprolint: clean ({len(checked)} file(s) checked)"
-        )
+        extras = []
+        if run.suppressed:
+            extras.append(f"{run.suppressed} suppressed")
+        if known:
+            extras.append(f"{len(known)} baselined")
+        if stale:
+            extras.append(f"{len(stale)} stale baseline entr(y/ies)")
+        detail = f" ({', '.join(extras)})" if extras else ""
+        if new:
+            summary = (
+                f"reprolint: {len(new)} finding(s) in "
+                f"{len(run.checked_files)} file(s){detail}"
+            )
+        else:
+            summary = (
+                f"reprolint: clean ({len(run.checked_files)} file(s) "
+                f"checked){detail}"
+            )
         print(summary, file=sys.stderr)
 
-    return 1 if findings else 0
+    if drift_failed:
+        print(
+            "reprolint: baseline drift — these baselined findings no "
+            "longer fire; remove them from the baseline:",
+            file=sys.stderr,
+        )
+        for fingerprint in sorted(stale):
+            print(f"  {fingerprint}", file=sys.stderr)
+
+    return 1 if (new or drift_failed) else 0
 
 
 if __name__ == "__main__":

@@ -37,12 +37,26 @@ Families
     direct file I/O — a replayed report must be a pure function of the
     crawl artifact, byte-identical no matter when or where it renders.
 ``SHARD-SAFE``
-    Inside ``repro.nodefinder``: shared NodeDB state is mutated only
-    through a writer class (``NodeDBWriter``) — a stray
-    ``db.observe(...)`` in a dial loop races the single-writer fold —
-    and crawler code neither draws from the global ``random`` module nor
-    calls a wall clock; per-shard rngs and the crawl clock are injected
-    so N shards stay conformant with the unsharded crawl.
+    Inside ``repro.nodefinder``: crawler code neither draws from the
+    global ``random`` module nor calls a wall clock; per-shard rngs and
+    the crawl clock are injected so N shards stay conformant with the
+    unsharded crawl.
+``RACE-*``
+    Flow-sensitive await-boundary analysis (CFG + taint dataflow):
+    ``RACE-RMW`` flags read-modify-writes of ``self.*``/module state
+    straddling an await, ``RACE-STALE`` flags double-checked state gone
+    stale across an await, ``RACE-LOCK`` flags synchronous locks held
+    across an await.
+``TASK-LIFE-*``
+    Task lifecycle: ``TASK-LIFE-ORPHAN`` flags
+    ``create_task``/``ensure_future`` handles that nothing retains
+    (exceptions vanish), ``TASK-LIFE-GATHER`` flags ``asyncio.gather``
+    in supervision loops without ``return_exceptions=True``.
+``OWNERSHIP``
+    Whole-tree, type-resolved single-writer enforcement: NodeDB,
+    CrawlStats, and MetricsRegistry are mutated only inside their
+    defining module or their declared writer classes (NodeDBWriter,
+    Telemetry).
 """
 
 from repro.devtools.rules import (  # noqa: F401
@@ -51,7 +65,10 @@ from repro.devtools.rules import (  # noqa: F401
     exc_silent,
     ingest_pure,
     obs_clock,
+    ownership,
+    race,
     retry_safe,
     shard_safe,
     sim_det,
+    task_life,
 )

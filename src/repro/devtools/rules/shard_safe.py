@@ -1,28 +1,25 @@
-"""SHARD-SAFE: sharded crawl state folds through the single writer.
+"""SHARD-SAFE: shard code stays deterministic and conformant.
 
-The sharded scheduler's entire correctness argument is one invariant:
-shard dial loops never touch shared crawl state directly — every
-``DialResult`` reaches the shared :class:`~repro.nodefinder.database.NodeDB`
-through one :class:`~repro.nodefinder.shard.NodeDBWriter` (synchronous in
-direct mode, one consumer task in queued mode).  A stray
-``self.db.observe(...)`` in a dial loop would race the writer and silently
-break the conformance guarantee that N shards produce the same database
-as the unsharded crawl, so it is a lint error rather than a review note.
+The sharded scheduler's conformance guarantee — N shards produce the
+same database as the unsharded crawl — needs two ambient-state bans in
+``repro.nodefinder``: shard code must not draw from the process-global
+``random`` module (each shard's rng is seeded and injected, or
+reordering shards reorders the stream) and must not call a wall clock
+(the crawl clock is injected so every shard's records share one
+timeline).
 
-Two companions guard the same conformance property: shard code must not
-draw from the process-global ``random`` module (each shard's rng is
-seeded and injected, or reordering shards reorders the stream) and must
-not call a wall clock (the crawl clock is injected so every shard's
-records share one timeline).
-
-``database.py`` itself — where ``observe``/``merge_entry`` live — and
-classes with ``writer`` in their name are exempt: they *are* the single
-mutation point.
+The third leg of the original invariant — "shared NodeDB state is
+mutated only through a writer class" — used to live here as a receiver
+*name* heuristic (``db.observe``).  It is now enforced type-resolved and
+tree-wide by the OWNERSHIP family
+(:mod:`repro.devtools.rules.ownership`), which catches mutations behind
+any receiver name and stops flagging unrelated objects that merely look
+like databases.
 """
 
 from __future__ import annotations
 
-from typing import Iterator, List
+from typing import Iterator
 
 import ast
 
@@ -32,92 +29,31 @@ from repro.devtools.registry import Rule, register
 from repro.devtools.rules.sim_det import _RANDOM_ALLOWED, _WALL_CLOCKS
 from repro.devtools.source import ModuleSource
 
-#: NodeDB methods that mutate shared crawl state.
-_DB_MUTATORS = {"observe", "merge", "merge_entry"}
-
-
-def _is_db_owner(owner: ast.expr) -> bool:
-    """Does this expression look like a (shared) node database handle?"""
-    if isinstance(owner, ast.Name):
-        name = owner.id
-    elif isinstance(owner, ast.Attribute):
-        name = owner.attr
-    else:
-        return False
-    return name == "db" or name.endswith("_db")
-
 
 @register
 class ShardSafety(Rule):
     code = "SHARD-SAFE"
     name = "shard-safety"
     description = (
-        "crawler code must fold shared NodeDB state only through a writer "
-        "class (db.observe/merge outside one is an error) and must not read "
-        "the global random module or a wall clock — per-shard rng and the "
-        "crawl clock are injected"
+        "crawler code must not read the global random module or a wall "
+        "clock — per-shard rng and the crawl clock are injected so N "
+        "shards stay conformant with the unsharded crawl (NodeDB writer "
+        "discipline is enforced by OWNERSHIP)"
     )
     scope = ("nodefinder",)
 
     def check(self, module: ModuleSource) -> Iterator[Finding]:
-        if module.path.name == "database.py":
-            # the database is the mutation point the invariant protects
-            return
         aliases = import_aliases(module.tree)
-        findings: List[Finding] = []
-        self._walk(module, module.tree, aliases, False, findings)
-        yield from findings
-
-    def _walk(
-        self,
-        module: ModuleSource,
-        node: ast.AST,
-        aliases: dict,
-        inside_writer: bool,
-        findings: List[Finding],
-    ) -> None:
-        for child in ast.iter_child_nodes(node):
-            child_inside = inside_writer
-            if isinstance(child, ast.ClassDef):
-                child_inside = inside_writer or "writer" in child.name.lower()
-            if isinstance(child, ast.Call):
-                self._check_call(module, child, aliases, inside_writer, findings)
-            self._walk(module, child, aliases, child_inside, findings)
-
-    def _check_call(
-        self,
-        module: ModuleSource,
-        node: ast.Call,
-        aliases: dict,
-        inside_writer: bool,
-        findings: List[Finding],
-    ) -> None:
-        func = node.func
-        if (
-            not inside_writer
-            and isinstance(func, ast.Attribute)
-            and func.attr in _DB_MUTATORS
-            and _is_db_owner(func.value)
-        ):
-            findings.append(
-                self.finding(
-                    module,
-                    node.lineno,
-                    node.col_offset,
-                    f"shared NodeDB mutation .{func.attr}() outside a writer "
-                    "class; fold results through NodeDBWriter so shards "
-                    "never race the database",
-                )
-            )
-            return
-        target = resolve_call(func, aliases)
-        if target is None:
-            return
-        if target.startswith("random."):
-            tail = target.split(".", 1)[1]
-            if tail.split(".")[0] not in _RANDOM_ALLOWED:
-                findings.append(
-                    self.finding(
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            target = resolve_call(node.func, aliases)
+            if target is None:
+                continue
+            if target.startswith("random."):
+                tail = target.split(".", 1)[1]
+                if tail.split(".")[0] not in _RANDOM_ALLOWED:
+                    yield self.finding(
                         module,
                         node.lineno,
                         node.col_offset,
@@ -125,10 +61,8 @@ class ShardSafety(Rule):
                         "a seeded per-shard random.Random so shard order "
                         "cannot reorder the stream",
                     )
-                )
-        elif target in _WALL_CLOCKS:
-            findings.append(
-                self.finding(
+            elif target in _WALL_CLOCKS:
+                yield self.finding(
                     module,
                     node.lineno,
                     node.col_offset,
@@ -136,4 +70,3 @@ class ShardSafety(Rule):
                     "injected crawl clock so every shard's records share "
                     "one timeline",
                 )
-            )

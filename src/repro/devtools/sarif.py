@@ -1,0 +1,96 @@
+"""SARIF 2.1.0 rendering for reprolint findings.
+
+SARIF (Static Analysis Results Interchange Format) is the OASIS schema
+CI platforms ingest for code-scanning annotations.  One run object, one
+driver (``reprolint``), one result per finding.  Each result carries the
+finding's stable fingerprint under ``partialFingerprints`` and — when a
+baseline is in play — a ``baselineState`` of ``"unchanged"`` (already in
+the committed baseline) or ``"new"``, so a viewer can separate debt from
+regressions.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence
+
+from repro.devtools.findings import Finding
+from repro.devtools.registry import Rule
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+#: key under partialFingerprints; versioned so the hashing scheme can change
+FINGERPRINT_KEY = "reprolint/v1"
+
+
+def _rule_descriptor(rule: Rule) -> dict:
+    return {
+        "id": rule.code,
+        "name": rule.name or rule.code,
+        "shortDescription": {"text": rule.description or rule.name or rule.code},
+        "defaultConfiguration": {"level": "error"},
+    }
+
+
+def _result(finding: Finding, baseline: Optional[set]) -> dict:
+    result = {
+        "ruleId": finding.code,
+        "level": "error",
+        "message": {"text": finding.message},
+        "locations": [
+            {
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": finding.path.replace("\\", "/"),
+                    },
+                    "region": {
+                        "startLine": max(1, finding.line),
+                        "startColumn": max(1, finding.col + 1),
+                    },
+                }
+            }
+        ],
+    }
+    if finding.fingerprint:
+        result["partialFingerprints"] = {FINGERPRINT_KEY: finding.fingerprint}
+    if baseline is not None:
+        result["baselineState"] = (
+            "unchanged" if finding.fingerprint in baseline else "new"
+        )
+    return result
+
+
+def render(
+    findings: Sequence[Finding],
+    rules: Iterable[Rule],
+    baseline: Optional[set] = None,
+) -> dict:
+    """The SARIF log dict for one lint run (``json.dumps``-ready).
+
+    ``baseline`` is the set of baselined fingerprints, or None when no
+    baseline is in play (then no ``baselineState`` is emitted at all).
+    """
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "reprolint",
+                        "informationUri": (
+                            "https://example.invalid/repro/devtools"
+                        ),
+                        "rules": sorted(
+                            (_rule_descriptor(rule) for rule in rules),
+                            key=lambda r: r["id"],
+                        ),
+                    }
+                },
+                "results": [_result(f, baseline) for f in findings],
+            }
+        ],
+    }

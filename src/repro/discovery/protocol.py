@@ -101,6 +101,10 @@ class DiscoveryService(asyncio.DatagramProtocol):
         self._pending_pongs: dict[tuple[str, int], list[asyncio.Future]] = {}
         self._pending_neighbors: dict[tuple[str, int], list[asyncio.Future]] = {}
         self._sent_pings: dict[bytes, bytes] = {}  # packet hash -> node id
+        #: fire-and-forget protocol chores (bond-back pings, eviction
+        #: checks) spawned off the datagram handlers; retained so their
+        #: exceptions surface and close() can cancel them
+        self._background: set[asyncio.Task] = set()
         self.stats = {
             "pings_sent": 0,
             "pongs_sent": 0,
@@ -129,9 +133,35 @@ class DiscoveryService(asyncio.DatagramProtocol):
         return self
 
     def close(self) -> None:
+        for task in list(self._background):
+            task.cancel()
+        self._background.clear()
         if self._transport is not None:
             self._transport.close()
             self._transport = None
+
+    def _spawn(self, coro) -> asyncio.Task:
+        """Run a protocol chore as a supervised background task.
+
+        Datagram handlers are synchronous, so bond-back pings and
+        eviction checks must detach — but a bare ``ensure_future`` would
+        orphan them: nothing holds the handle, so a crash is silently
+        parked on a garbage-collected Task.  Retaining the task and
+        logging non-cancellation failures from the done-callback keeps
+        the fire-and-forget call sites honest.
+        """
+        task = asyncio.ensure_future(coro)
+        self._background.add(task)
+        task.add_done_callback(self._reap_background)
+        return task
+
+    def _reap_background(self, task: asyncio.Task) -> None:
+        self._background.discard(task)
+        if task.cancelled():
+            return
+        exc = task.exception()
+        if exc is not None:
+            logger.warning("background discovery task crashed: %r", exc)
 
     @property
     def advertised_tcp_port(self) -> int:
@@ -224,7 +254,7 @@ class DiscoveryService(asyncio.DatagramProtocol):
         sender_id = decoded.sender_node_id
         if not self.is_bonded(sender_id):
             # Endpoint proof missing: Geth ignores the query and pings back.
-            asyncio.ensure_future(self.ping_addr(addr))
+            self._spawn(self.ping_addr(addr))
             return
         find: FindNodePacket = decoded.packet  # type: ignore[assignment]
         from repro.crypto.keccak import keccak256
@@ -254,7 +284,7 @@ class DiscoveryService(asyncio.DatagramProtocol):
         candidate = self.table.add(node)
         if candidate is not None:
             # Bucket full: Kademlia eviction check — ping the old node.
-            asyncio.ensure_future(self._eviction_check(candidate))
+            self._spawn(self._eviction_check(candidate))
         self.telemetry.discovery_table_size.set(len(self.table))
 
     async def _eviction_check(self, candidate: ENode) -> None:

@@ -18,6 +18,7 @@ describes:
 
 from __future__ import annotations
 
+import asyncio
 import enum
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
@@ -83,6 +84,10 @@ class HeaderSynchronizer:
         self.mode = mode
         self.batch_size = batch_size
         self.pivot_distance = pivot_distance
+        # one sync run at a time: the height read below and the appends
+        # that follow straddle network awaits, so a second concurrent
+        # sync() against the same chain would duplicate or skip headers
+        self._sync_lock = asyncio.Lock()
 
     async def _request_headers(
         self, peer: DevP2PPeer, origin: int, amount: int
@@ -135,62 +140,68 @@ class HeaderSynchronizer:
         header that fails validation (the full-sync defence the paper's
         related work contrasts with poisoned-sync eclipse attacks).
         """
-        progress = SyncProgress(
-            mode=self.mode,
-            start_height=self.chain.height,
-            target_height=target_height,
-        )
-        if self.mode is SyncMode.FAST:
-            progress.pivot = max(
-                self.chain.height, target_height - self.pivot_distance
+        async with self._sync_lock:
+            progress = SyncProgress(
+                mode=self.mode,
+                start_height=self.chain.height,
+                target_height=target_height,
             )
-        next_number = self.chain.height + 1
-        pending_receipt_hashes: list[bytes] = []
-        while next_number <= target_height:
-            amount = min(self.batch_size, target_height - next_number + 1)
-            headers = await self._request_headers(peer, next_number, amount)
-            if not headers:
-                raise ChainError(
-                    f"peer returned no headers at {next_number}; sync stalled"
+            if self.mode is SyncMode.FAST:
+                progress.pivot = max(
+                    self.chain.height, target_height - self.pivot_distance
                 )
-            progress.header_batches += 1
-            for header in headers:
-                if header.number != next_number:
+            next_number = self.chain.height + 1
+            pending_receipt_hashes: list[bytes] = []
+            while next_number <= target_height:
+                amount = min(self.batch_size, target_height - next_number + 1)
+                headers = await self._request_headers(peer, next_number, amount)
+                if not headers:
                     raise ChainError(
-                        f"expected header {next_number}, got {header.number}"
+                        f"peer returned no headers at {next_number}; sync stalled"
                     )
-                if self.mode is SyncMode.FAST and header.number <= progress.pivot:
-                    # cheap path: linkage only + receipts metadata
-                    parent = self.chain.head
-                    if header.parent_hash != parent.hash():
-                        raise InvalidHeader(
-                            f"block {header.number}: parent hash mismatch"
+                progress.header_batches += 1
+                for header in headers:
+                    if header.number != next_number:
+                        raise ChainError(
+                            f"expected header {next_number}, got {header.number}"
                         )
-                    self.chain.validate = False
-                    self.chain.append(header)
-                    self.chain.validate = True
-                    progress.link_checked_only += 1
-                    pending_receipt_hashes.append(header.hash())
-                else:
-                    self.chain.append(header)  # full validation
-                    progress.fully_validated += 1
-                progress.headers_downloaded += 1
-                next_number += 1
-                if len(pending_receipt_hashes) >= self.batch_size:
-                    progress.receipts_requested += await self._request_receipts(
-                        peer, pending_receipt_hashes
-                    )
-                    pending_receipt_hashes = []
-                if (
-                    self.mode is SyncMode.FAST
-                    and progress.pivot is not None
-                    and header.number == progress.pivot
-                ):
-                    progress.state_chunks_requested += await self._request_state(
-                        peer, header.state_root
-                    )
-        if pending_receipt_hashes:
-            progress.receipts_requested += await self._request_receipts(
-                peer, pending_receipt_hashes
-            )
-        return progress
+                    if (
+                        self.mode is SyncMode.FAST
+                        and header.number <= progress.pivot
+                    ):
+                        # cheap path: linkage only + receipts metadata
+                        parent = self.chain.head
+                        if header.parent_hash != parent.hash():
+                            raise InvalidHeader(
+                                f"block {header.number}: parent hash mismatch"
+                            )
+                        self.chain.validate = False
+                        self.chain.append(header)
+                        self.chain.validate = True
+                        progress.link_checked_only += 1
+                        pending_receipt_hashes.append(header.hash())
+                    else:
+                        self.chain.append(header)  # full validation
+                        progress.fully_validated += 1
+                    progress.headers_downloaded += 1
+                    next_number += 1
+                    if len(pending_receipt_hashes) >= self.batch_size:
+                        progress.receipts_requested += (
+                            await self._request_receipts(
+                                peer, pending_receipt_hashes
+                            )
+                        )
+                        pending_receipt_hashes = []
+                    if (
+                        self.mode is SyncMode.FAST
+                        and progress.pivot is not None
+                        and header.number == progress.pivot
+                    ):
+                        progress.state_chunks_requested += (
+                            await self._request_state(peer, header.state_root)
+                        )
+            if pending_receipt_hashes:
+                progress.receipts_requested += await self._request_receipts(
+                    peer, pending_receipt_hashes
+                )
+            return progress

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import json
 from dataclasses import dataclass, field
-from typing import Iterator, Optional
+from typing import Iterable, Iterator, Optional
 
 from repro.simnet.clock import SECONDS_PER_DAY
 from repro.simnet.node import DialOutcome, DialResult
@@ -189,6 +189,28 @@ class NodeDB:
         """Fold another instance's database into this one (fleet view)."""
         for entry in other:
             self.merge_entry(entry)
+
+    @classmethod
+    def from_entries(cls, entries: Iterable[NodeEntry]) -> "NodeDB":
+        """A new database folded from entries (filtered copies, rebuilds).
+
+        Keeps the construction inside the owning module: callers that
+        derive a new database (sanitisation, subsetting) fold through
+        this instead of mutating a fresh ``NodeDB`` themselves — the
+        OWNERSHIP invariant allows mutation only here and in the writer.
+        """
+        db = cls()
+        for entry in entries:
+            db.merge_entry(entry)
+        return db
+
+    @classmethod
+    def merged(cls, databases: Iterable["NodeDB"]) -> "NodeDB":
+        """One database folding every input database (the fleet view)."""
+        merged = cls()
+        for db in databases:
+            merged.merge(db)
+        return merged
 
     def merge_entry(self, entry: NodeEntry) -> None:
         """Fold a single entry into this database."""

@@ -35,17 +35,11 @@ class Fleet:
 
     @property
     def merged_db(self) -> NodeDB:
-        merged = NodeDB()
-        for instance in self.instances:
-            merged.merge(instance.db)
-        return merged
+        return NodeDB.merged(instance.db for instance in self.instances)
 
     @property
     def merged_stats(self) -> CrawlStats:
-        merged = CrawlStats()
-        for instance in self.instances:
-            merged.merge(instance.stats)
-        return merged
+        return CrawlStats.merged(instance.stats for instance in self.instances)
 
     def own_node_ids(self) -> set[bytes]:
         return {instance.node_id for instance in self.instances}

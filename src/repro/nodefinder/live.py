@@ -297,16 +297,23 @@ class LiveNodeFinder:
                         )
             await asyncio.sleep(self.config.lookup_interval)
 
+    def _next_due_static(self, now: float) -> Optional[tuple[bytes, ENode]]:
+        """The next static node due at ``now``, read from live state."""
+        for node_id, (enode, next_dial) in self.static_nodes.items():
+            if next_dial <= now:
+                return node_id, enode
+        return None
+
     async def _static_loop(self) -> None:
         while not self._stopping:
             now = self.clock()
-            due = [
-                node
-                for node, (enode, next_dial) in list(self.static_nodes.items())
-                if next_dial <= now
-            ]
-            for node_id in due:
-                enode, _ = self.static_nodes[node_id]
+            due = self._next_due_static(now)
+            if due is not None:
+                node_id, enode = due
+                # reschedule before the dial await: while the dial is in
+                # flight other loops may add/prune statics, and the next
+                # iteration re-derives the due set from that fresh state
+                # instead of acting on a snapshot taken before the await
                 self.static_nodes[node_id] = (
                     enode,
                     now + self.config.static_dial_interval,
@@ -320,6 +327,7 @@ class LiveNodeFinder:
                     logger.warning(
                         "static dial of %s crashed: %r", enode.short_id(), exc
                     )
+                continue
             self._prune_stale()
             await asyncio.sleep(
                 min(1.0, self.config.static_dial_interval / 10)

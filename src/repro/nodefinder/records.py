@@ -14,7 +14,7 @@ from __future__ import annotations
 
 from collections import defaultdict
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Iterable, Optional
 
 from repro.simnet.node import DialOutcome, DialResult
 
@@ -127,6 +127,19 @@ class CrawlStats:
         for day, row in other.bootstrap_dials.items():
             for kind, count in row.items():
                 self.bootstrap_dials[day][kind] += count
+
+    @classmethod
+    def merged(cls, stats: "Iterable[CrawlStats]") -> "CrawlStats":
+        """One stats object folding every input (the fleet view).
+
+        Mirror of ``NodeDB.merged``: aggregation happens inside the
+        owning module, so callers never mutate a ``CrawlStats`` they do
+        not own (the OWNERSHIP invariant).
+        """
+        merged = cls()
+        for item in stats:
+            merged.merge(item)
+        return merged
 
     def total(self, attribute: str) -> float:
         return sum(value for _, value in self.series(attribute))

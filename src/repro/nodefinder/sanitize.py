@@ -96,9 +96,8 @@ def sanitize(
     """Return a cleaned copy of ``db`` plus the report."""
     report = find_abusive(db)
     report.scanner_node_ids = find_scanners(db, own_node_ids)
-    cleaned = NodeDB()
     to_remove = report.abusive_node_ids | report.scanner_node_ids
-    for entry in db:
-        if entry.node_id not in to_remove:
-            cleaned.merge_entry(entry)
+    cleaned = NodeDB.from_entries(
+        entry for entry in db if entry.node_id not in to_remove
+    )
     return cleaned, report

@@ -175,7 +175,7 @@ class NodeFinderInstance:
         """
         target = self.rng.randbytes(64)
         results = self._lookup(target)
-        self.stats.record_discovery(self.day)
+        self.writer.record_discovery(self.day)
         now = self.world.now
         horizon = now - self.config.dial_history_expiration
         # batched target draw: filter every candidate first, then hand each
@@ -337,4 +337,5 @@ class NodeFinderInstance:
         )
 
     def watch_bootstrap(self, node_id: bytes) -> None:
-        self.stats.watch_bootstrap(node_id)
+        # stats mutations route through the writer (OWNERSHIP invariant)
+        self.writer.watch_bootstrap(node_id)

@@ -16,8 +16,9 @@ pieces both the simulated and the live crawler build on:
   (simulation, unsharded live crawls), or via one ``asyncio.Queue``
   drained by one consumer task in queued mode (sharded live crawls) — so
   shard dial loops never contend on the database and there are no
-  cross-shard locks on the hot path.  The SHARD-SAFE lint family enforces
-  the invariant: ``.db.observe(...)`` outside a writer class is an error.
+  cross-shard locks on the hot path.  The OWNERSHIP lint family enforces
+  the invariant type-resolved and tree-wide: a ``NodeDB``/``CrawlStats``
+  mutation outside a writer class (or the owning module) is an error.
 
 Fold order across shards is not deterministic in queued mode, and does
 not need to be: ``NodeDB.observe`` folds per *node* in timestamp order
@@ -120,6 +121,22 @@ class NodeDBWriter:
         if self._queue is not None:
             raise RuntimeError("writer is in queued mode; use `await put(...)`")
         return self._fold(result)
+
+    # -- stats passthroughs --------------------------------------------------
+    #
+    # Crawl bookkeeping that is not dial-result-shaped still goes through
+    # the writer, so CrawlStats has exactly one mutating owner.  Both are
+    # synchronous upserts of independent counters — safe in either mode.
+
+    def record_discovery(self, day: int, lookups: int = 1) -> None:
+        """Count discovery lookups for the Figure 5 series."""
+        if self.stats is not None:
+            self.stats.record_discovery(day, lookups)
+
+    def watch_bootstrap(self, node_id: bytes) -> None:
+        """Arm the Figure 8 bootstrap-dial series."""
+        if self.stats is not None:
+            self.stats.watch_bootstrap(node_id)
 
     async def put(self, result: "DialResult") -> None:
         """Hand one result to the writer (folds inline in direct mode)."""

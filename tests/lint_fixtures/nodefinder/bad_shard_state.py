@@ -1,21 +1,15 @@
-"""SHARD-SAFE firing fixture: four ways to break shard conformance."""
+"""SHARD-SAFE firing fixture: nondeterminism leaking into shard loops.
+
+The db-mutation leg that used to live here (a receiver *named* ``db``
+calling ``.observe``) is now OWNERSHIP's job, resolved by type — see
+``tests/lint_fixtures/ownership/``.
+"""
 
 import random
 import time
 
 
 class ShardLoop:
-    def __init__(self, db):
-        self.db = db
-
-    def fold_directly(self, result):
-        # shared-state mutation outside a writer class
-        self.db.observe(result)
-
-    def merge_directly(self, db, entry):
-        # same invariant, bare db name
-        db.merge_entry(entry)
-
     def jitter(self):
         # global RNG: shard reordering would reorder the stream
         return random.random()

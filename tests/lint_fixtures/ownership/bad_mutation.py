@@ -1,0 +1,21 @@
+"""OWNERSHIP firing fixture: typed shared state mutated outside its writers.
+
+The receivers are *typed* (annotations, constructor flow) but none of the
+mutating scopes is in the declared writer set, and this module does not
+define the tracked classes — every mutation call is a finding.
+"""
+
+
+class ShardLoop:
+    def __init__(self, db: "NodeDB", stats: "CrawlStats"):
+        self.db = db
+        self.stats = stats
+
+    def fold(self, result, day):
+        self.db.observe(result)
+        self.stats.record_dial(day, result)
+
+
+def merge_all(target: "NodeDB", sources):
+    for other in sources:
+        target.merge(other)

@@ -1,0 +1,32 @@
+"""OWNERSHIP clean fixture: mutations only inside the declared writer.
+
+``NodeDBWriter`` is in the writer set for both ``NodeDB`` and
+``CrawlStats``; everyone else routes through it, so nothing fires even
+though every receiver resolves to a tracked type.
+"""
+
+
+class NodeDBWriter:
+    def __init__(self, db: "NodeDB", stats: "CrawlStats" = None):
+        self.db = db
+        self.stats = stats
+
+    def submit(self, result, day):
+        entry = self.db.observe(result)
+        if self.stats is not None:
+            self.stats.record_dial(day, result)
+        return entry
+
+
+class ShardLoop:
+    def __init__(self, writer: NodeDBWriter):
+        self.writer = writer
+
+    def fold(self, result, day):
+        # the handle everyone is allowed to hold is the writer, not the db
+        return self.writer.submit(result, day)
+
+
+def read_only(db: "NodeDB"):
+    # non-mutating calls on a tracked type are anyone's to make
+    return [entry for entry in db.entries()]

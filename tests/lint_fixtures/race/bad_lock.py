@@ -1,0 +1,14 @@
+"""RACE-LOCK firing fixture: a synchronous lock held across an await."""
+
+import threading
+
+
+class SessionPool:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.sessions = {}
+
+    async def refresh(self, peer):
+        with self._lock:  # held while the event loop runs other tasks
+            session = await peer.handshake()
+            self.sessions[peer.node_id] = session

@@ -1,0 +1,32 @@
+"""RACE-RMW firing fixture: read-modify-write straddling an await."""
+
+import asyncio
+
+TOTAL_DIALS = 0
+
+
+async def record(result):
+    global TOTAL_DIALS
+    stale = TOTAL_DIALS
+    await asyncio.sleep(0)
+    TOTAL_DIALS = stale + 1  # write uses a pre-await read of a global
+
+
+class CrawlCounters:
+    def __init__(self):
+        self.folds = 0
+        self.high_water = 0
+
+    async def flush(self):
+        await asyncio.sleep(0)
+
+    async def bump(self):
+        count = self.folds  # read before the interleave point
+        await self.flush()
+        self.folds = count + 1  # another task's increment just vanished
+
+    async def drain(self, batches):
+        for batch in batches:
+            snapshot = self.high_water
+            await self.flush()
+            self.high_water = snapshot + len(batch)  # same, loop-carried

@@ -1,0 +1,31 @@
+"""RACE-STALE firing fixture: double-checked state gone stale."""
+
+
+async def open_session():
+    return object()
+
+
+async def fetch_meta():
+    return {}
+
+
+def parse(raw):
+    return raw
+
+
+class Connector:
+    def __init__(self):
+        self.session = None
+        self.meta = None
+
+    async def connect(self):
+        if self.session is None:
+            # two tasks can both pass the check and both connect
+            self.session = await open_session()
+        return self.session
+
+    async def describe(self):
+        if self.meta is None:
+            raw = await fetch_meta()
+            self.meta = parse(raw)  # the check is stale by write time
+        return self.meta

@@ -1,0 +1,60 @@
+"""RACE clean fixture: the sanctioned idioms for awaited critical sections.
+
+Every shape the firing fixtures flag, done right: the read-modify-write
+and the double-checked init run under one ``asyncio.Lock`` acquired with
+``async with`` (never a sync ``with``), and writer classes fold shared
+state as the single serialization point.
+"""
+
+import asyncio
+
+
+async def open_session():
+    return object()
+
+
+class Connector:
+    def __init__(self):
+        self.session = None
+        self._session_lock = asyncio.Lock()
+
+    async def connect(self):
+        # lock-then-recheck: the test cannot go stale while the lock is held
+        async with self._session_lock:
+            if self.session is None:
+                self.session = await open_session()
+        return self.session
+
+
+class CrawlCounters:
+    def __init__(self):
+        self.folds = 0
+        self._fold_lock = asyncio.Lock()
+
+    async def flush(self):
+        await asyncio.sleep(0)
+
+    async def bump(self):
+        # both sides of the read-modify-write hold the same asyncio lock
+        async with self._fold_lock:
+            count = self.folds
+            await self.flush()
+            self.folds = count + 1
+
+    async def rederive(self):
+        # re-reading after the await is the lock-free alternative
+        await self.flush()
+        self.folds = self.folds + 1
+
+
+class StatsWriter:
+    """Writer classes are the serialization point the invariant funnels
+    everything through; their internal folds are exempt by design."""
+
+    def __init__(self):
+        self.folds = 0
+
+    async def fold(self, results):
+        count = self.folds
+        await asyncio.sleep(0)
+        self.folds = count + len(results)

@@ -1,0 +1,10 @@
+"""TASK-LIFE-GATHER firing fixture: fail-fast gather in a supervision loop."""
+
+import asyncio
+
+
+async def supervise(workers):
+    while True:
+        # the first worker crash aborts the whole round and discards
+        # every other worker's result
+        await asyncio.gather(*(worker.run() for worker in workers))

@@ -1,0 +1,21 @@
+"""TASK-LIFE-ORPHAN firing fixture: spawned tasks nobody supervises."""
+
+import asyncio
+
+
+async def ping(peer):
+    await peer.ping()
+
+
+class Dialer:
+    def start_probe(self, peer):
+        # bare expression statement: the handle is dropped on the floor
+        asyncio.create_task(ping(peer))
+
+    def start_eviction(self, peer, loop):
+        # assigning to `_` is the same drop, spelled louder
+        _ = loop.create_task(ping(peer))
+
+    def start_refresh(self, peer):
+        # assigned to a local the function never reads again
+        task = asyncio.ensure_future(ping(peer))

@@ -1,0 +1,37 @@
+"""TASK-LIFE clean fixture: every spawned task has an owner."""
+
+import asyncio
+
+
+async def ping(peer):
+    await peer.ping()
+
+
+class Dialer:
+    def __init__(self):
+        self._tasks = set()
+
+    def _spawn(self, coro):
+        # retained in a set with a done-callback: the canonical owner
+        task = asyncio.ensure_future(coro)
+        self._tasks.add(task)
+        task.add_done_callback(self._tasks.discard)
+        return task
+
+    def start_probe(self, peer):
+        # the handle is passed onward; _spawn inherits the supervision duty
+        self._spawn(ping(peer))
+
+    async def probe_now(self, peer):
+        # awaited in place is supervised by definition
+        await asyncio.create_task(ping(peer))
+
+    async def supervise(self, peers):
+        while True:
+            await asyncio.gather(
+                *(ping(peer) for peer in peers), return_exceptions=True
+            )
+
+    async def one_shot(self, peers):
+        # fail-fast gather outside a loop may legitimately want to abort
+        await asyncio.gather(*(ping(peer) for peer in peers))

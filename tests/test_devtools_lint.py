@@ -34,6 +34,12 @@ RULE_CODES = {
     "OBS-CLOCK",
     "INGEST-PURE",
     "SHARD-SAFE",
+    "RACE-RMW",
+    "RACE-STALE",
+    "RACE-LOCK",
+    "TASK-LIFE-ORPHAN",
+    "TASK-LIFE-GATHER",
+    "OWNERSHIP",
 }
 
 
@@ -60,9 +66,15 @@ FIRING = {
     "exc_silent/bad_silent.py": {"EXC-SILENT": 2},
     "crypto/bad_mixing.py": {"CRYPTO-BYTES": 4},
     "nodefinder/bad_raw_await.py": {"RETRY-SAFE": 3},
-    "nodefinder/bad_shard_state.py": {"SHARD-SAFE": 4},
+    "nodefinder/bad_shard_state.py": {"SHARD-SAFE": 2},
     "telemetry/bad_wallclock.py": {"OBS-CLOCK": 3},
     "analysis/bad_impure.py": {"INGEST-PURE": 4},
+    "race/bad_rmw.py": {"RACE-RMW": 3},
+    "race/bad_stale.py": {"RACE-STALE": 2},
+    "race/bad_lock.py": {"RACE-LOCK": 1},
+    "task_life/bad_orphan.py": {"TASK-LIFE-ORPHAN": 3},
+    "task_life/bad_gather.py": {"TASK-LIFE-GATHER": 1},
+    "ownership/bad_mutation.py": {"OWNERSHIP": 3},
 }
 
 CLEAN = [
@@ -75,6 +87,9 @@ CLEAN = [
     "nodefinder/clean_shard_writer.py",
     "telemetry/clean_injected.py",
     "analysis/clean_pure.py",
+    "race/clean_locked.py",
+    "task_life/clean_supervised.py",
+    "ownership/clean_writer.py",
 ]
 
 
