@@ -1,0 +1,110 @@
+"""Crawl-throughput snapshot: the ROADMAP perf-trajectory pin.
+
+Runs the standard simnet crawl at two population scales (N = 1k and
+N = 10k), measures wall-clock throughput, and writes ``BENCH_crawl.json``
+at the repo root.  Commit the refreshed snapshot whenever crawl-path
+performance changes materially; successive snapshots are the perf
+trajectory.
+
+    PYTHONPATH=src python benchmarks/bench_crawl.py [--out PATH]
+
+Reported per scale (all per wall-clock second):
+
+* ``nodes_per_sec``   — distinct NodeDB entries harvested
+* ``dials_per_sec``   — dial attempts completed
+* ``events_per_sec``  — journal events written (dial + companion records)
+
+The workload itself is deterministic (seeded world, seeded crawler, fixed
+sim-day budget); only the wall-clock denominators vary by machine, so the
+ratios between snapshots on one machine are comparable.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from repro.analysis.ingest import read_events
+from repro.nodefinder.fleet import run_fleet
+from repro.nodefinder.scanner import NodeFinderConfig
+from repro.simnet.population import PopulationConfig
+from repro.simnet.world import SimWorld, WorldConfig
+
+#: (label, world size, simulated crawl days)
+SCALES = (("1k", 1_000, 0.25), ("10k", 10_000, 0.25))
+
+
+def bench_scale(total_nodes: int, days: float) -> dict:
+    world = SimWorld(
+        WorldConfig(
+            population=PopulationConfig(
+                total_nodes=total_nodes, seed=2018, measurement_days=1.0
+            ),
+            seed=7,
+        )
+    )
+    config = NodeFinderConfig(seed=1)
+    with tempfile.TemporaryDirectory() as telemetry_dir:
+        started = time.perf_counter()
+        fleet = run_fleet(
+            world,
+            instance_count=1,
+            days=days,
+            config=config,
+            telemetry_dir=telemetry_dir,
+        )
+        elapsed = time.perf_counter() - started
+        events = sum(
+            1
+            for path in sorted(Path(telemetry_dir).glob("*.jsonl"))
+            for _ in read_events(path)
+        )
+    db = fleet.merged_db
+    stats = fleet.merged_stats
+    dials = int(
+        stats.total("dynamic_dial_attempts") + stats.total("static_dial_attempts")
+    )
+    return {
+        "world_nodes": total_nodes,
+        "sim_days": days,
+        "wall_seconds": round(elapsed, 3),
+        "db_entries": len(db),
+        "dial_attempts": dials,
+        "journal_events": events,
+        "nodes_per_sec": round(len(db) / elapsed, 1),
+        "dials_per_sec": round(dials / elapsed, 1),
+        "events_per_sec": round(events / elapsed, 1),
+    }
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--out",
+        default=str(Path(__file__).resolve().parent.parent / "BENCH_crawl.json"),
+        help="snapshot path (default: repo-root BENCH_crawl.json)",
+    )
+    args = parser.parse_args()
+    snapshot = {
+        "benchmark": "simnet-crawl-throughput",
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "scales": {},
+    }
+    for label, total_nodes, days in SCALES:
+        print(f"[bench] N={label}: crawling {days} sim-days ...", flush=True)
+        snapshot["scales"][label] = bench_scale(total_nodes, days)
+        print(f"[bench] N={label}: {snapshot['scales'][label]}", flush=True)
+    out = Path(args.out)
+    out.write_text(json.dumps(snapshot, indent=2) + "\n", encoding="utf-8")
+    print(f"[bench] wrote {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -14,16 +14,27 @@ Two related phenomena around table monopolisation:
 entries and of lookup answers, with and without pre-existing honest
 entries (Kademlia's old-node-favouring eviction is the defence — a full,
 healthy table largely resists the flood; a freshly flushed one does not).
+
+:func:`detect_eclipse` is the forensic counterpart: given a *replayed
+journal* (no ground truth about who the attacker is), it scores the
+observable fingerprints a Sybil/eclipse campaign leaves behind — IP-
+prefix concentration, near-bucket occupancy skew, dial-traffic share of
+the dominant prefix, and the defences' own admission/breaker evidence —
+and raises a deterministic alarm.  Pure computation over the replayed
+view (the INGEST-PURE lint family applies).
 """
 
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
 
 from repro.crypto.keccak import keccak256
-from repro.discovery.enode import ENode
+from repro.discovery import distance as dist
+from repro.discovery.enode import ENode, _cached_id_hash as cached_id_hash
 from repro.discovery.routing import RoutingTable
+from repro.resilience.breaker import subnet_of
 
 
 @dataclass
@@ -114,3 +125,169 @@ def takeover_comparison(**kwargs) -> tuple[EclipseReport, EclipseReport]:
     flushed = simulate_table_takeover(flushed_table=True, **kwargs)
     established = simulate_table_takeover(flushed_table=False, **kwargs)
     return flushed, established
+
+
+# -- forensic detection over a replayed journal ------------------------------
+
+
+@dataclass
+class EclipseDetection:
+    """Eclipse fingerprints scored from one replayed crawl journal."""
+
+    #: distinct peers observed (crawler identities excluded)
+    observed_nodes: int = 0
+    #: (prefix, distinct node IDs, share of observed nodes), densest first
+    top_subnets: Tuple[Tuple[str, int, float], ...] = ()
+    top_subnet_share: float = 0.0
+    #: dial attempts aimed at the densest prefix / all dial attempts —
+    #: the share of the crawl's attention the campaign captured
+    hostile_dial_share: float = 0.0
+    #: occupancy of the victim's near buckets (log distance <= threshold)
+    near_bucket_threshold: int = 252
+    near_bucket_share: float = 0.0
+    #: natural near-bucket probability: sum of 2^(d-257) for d <= threshold
+    expected_near_share: float = 0.0
+    #: near_bucket_share / expected_near_share (1.0 = unremarkable);
+    #: node-ID grinding shows up here
+    bucket_skew: float = 0.0
+    #: defence evidence replayed from the journal (schema v3 events)
+    admission_rejections: Dict[str, int] = field(default_factory=dict)
+    rejected_subnets: Tuple[Tuple[str, int], ...] = ()
+    subnet_breaker_trips: int = 0
+    #: alarm verdict plus which signals fired, deterministic order
+    alarm: bool = False
+    triggers: Tuple[str, ...] = ()
+
+    @property
+    def total_admission_rejections(self) -> int:
+        return sum(self.admission_rejections.values())
+
+
+def detect_eclipse(
+    replayed,
+    subnet_share_alarm: float = 0.15,
+    bucket_skew_alarm: float = 3.0,
+    near_bucket_threshold: int = 252,
+    prefix_bits: int = 24,
+    top: int = 5,
+    min_population: int = 8,
+) -> EclipseDetection:
+    """Score eclipse fingerprints in a replayed crawl (journal forensics).
+
+    ``replayed`` is a :class:`~repro.analysis.ingest.ReplayedCrawl`.  The
+    detector has no attacker ground truth; it alarms on what a campaign
+    cannot help leaving in the measurement log:
+
+    * **prefix concentration** — distinct node IDs per /24: a Sybil swarm
+      minted from one allocation owns an implausible share of the
+      observed population (honest populations spread across thousands of
+      prefixes, cf. the paper's Table 5 geography);
+    * **near-bucket skew** — the fraction of observed IDs whose Geth log
+      distance from the crawler's own identity is <= ``threshold``
+      against the natural ``2^(d-257)`` density: ground IDs aimed at a
+      victim's near buckets multiply that share (needs the v3 ``crawler``
+      journal record to know the victim identity);
+    * **hostile dial share** — how much of the dial schedule the densest
+      prefix captured (amplification and false-friend steering both pull
+      this up);
+    * **defence evidence** — replayed ``table_admission`` rejections and
+      subnet-breaker trips are direct coordination proof.
+
+    The statistical triggers (concentration, skew) only fire over at
+    least ``min_population`` observed peers — a failed-dials-only
+    journal with one phantom peer is "100% concentrated" but means
+    nothing; defence-evidence triggers have no floor.
+    """
+    detection = EclipseDetection(near_bucket_threshold=near_bucket_threshold)
+    crawler_ids = set(replayed.crawler_ids)
+
+    # prefix concentration over the replayed node database
+    subnet_nodes: Dict[str, set] = {}
+    observed: list = []
+    for entry in replayed.db:
+        if entry.node_id in crawler_ids:
+            continue
+        observed.append(entry.node_id)
+        for ip in entry.ips:
+            subnet = subnet_of(ip, prefix_bits)
+            if subnet is not None:
+                subnet_nodes.setdefault(subnet, set()).add(entry.node_id)
+    detection.observed_nodes = len(observed)
+    ranked = sorted(
+        subnet_nodes.items(), key=lambda item: (-len(item[1]), item[0])
+    )
+    if observed and ranked:
+        detection.top_subnets = tuple(
+            (subnet, len(ids), len(ids) / len(observed))
+            for subnet, ids in ranked[:top]
+        )
+        detection.top_subnet_share = detection.top_subnets[0][2]
+
+        densest = subnet_nodes[ranked[0][0]]
+        total_dials = hostile_dials = 0
+        for timeline in replayed.timelines.values():
+            total_dials += timeline.dials
+            if timeline.node_id in densest:
+                hostile_dials += timeline.dials
+        if total_dials:
+            detection.hostile_dial_share = hostile_dials / total_dials
+
+    # near-bucket occupancy vs the 2^(d-257) law, worst crawler identity
+    detection.expected_near_share = sum(
+        2.0 ** (d - 257) for d in range(0, near_bucket_threshold + 1)
+    )
+    if observed and crawler_ids:
+        for crawler_id in sorted(crawler_ids):
+            own_hash = keccak256(crawler_id)
+            near = sum(
+                1
+                for node_id in observed
+                if dist.geth_log_distance(own_hash, cached_id_hash(node_id))
+                <= near_bucket_threshold
+            )
+            share = near / len(observed)
+            if share > detection.near_bucket_share:
+                detection.near_bucket_share = share
+        detection.bucket_skew = (
+            detection.near_bucket_share / detection.expected_near_share
+        )
+
+    # defence evidence straight from the v3 journal records
+    detection.admission_rejections = dict(
+        sorted(replayed.admission_rejections.items())
+    )
+    detection.rejected_subnets = tuple(
+        sorted(
+            replayed.rejected_subnets.items(),
+            key=lambda item: (-item[1], item[0]),
+        )[:top]
+    )
+    detection.subnet_breaker_trips = sum(replayed.subnet_breaker_trips.values())
+
+    # concentration ratios over a handful of peers are noise (one node in
+    # one /24 is "100% concentration"); the statistical triggers need a
+    # minimum population, while defence evidence stays direct proof
+    population_scored = detection.observed_nodes >= min_population
+    triggers = []
+    if population_scored and detection.top_subnet_share >= subnet_share_alarm:
+        triggers.append(
+            f"prefix-concentration: {detection.top_subnet_share:.1%} of "
+            f"observed nodes in one /{prefix_bits}"
+        )
+    if population_scored and detection.bucket_skew >= bucket_skew_alarm:
+        triggers.append(
+            f"near-bucket skew: {detection.bucket_skew:.1f}x natural density "
+            f"at distance <= {near_bucket_threshold}"
+        )
+    if detection.total_admission_rejections > 0:
+        triggers.append(
+            f"table admission refused {detection.total_admission_rejections} "
+            f"inserts"
+        )
+    if detection.subnet_breaker_trips > 0:
+        triggers.append(
+            f"subnet breakers tripped {detection.subnet_breaker_trips} times"
+        )
+    detection.triggers = tuple(triggers)
+    detection.alarm = bool(triggers)
+    return detection

@@ -112,6 +112,15 @@ class ReplayedCrawl:
     dials_replayed: int = 0
     #: human-readable notes for records replay had to drop
     skipped: List[str] = field(default_factory=list)
+    #: identities the crawl itself presented (``crawler`` events, v3) —
+    #: eclipse detection anchors bucket skew on these
+    crawler_ids: set = field(default_factory=set)
+    crawler_names: Dict[bytes, str] = field(default_factory=dict)
+    #: table-admission refusals by reason / by refused /24 (v3)
+    admission_rejections: Counter = field(default_factory=Counter)
+    rejected_subnets: Counter = field(default_factory=Counter)
+    #: subnet-scope breaker OPEN transitions by prefix (v3)
+    subnet_breaker_trips: Counter = field(default_factory=Counter)
 
     def timeline(self, node_id: bytes) -> Optional[PeerTimeline]:
         return self.timelines.get(node_id)
@@ -203,6 +212,27 @@ def replay(events: Iterable[Event]) -> ReplayedCrawl:
         out.events_replayed += 1
         out.event_counts[event.type] += 1
         fields = event.fields
+        # crawl-scope records (v3): they carry node_ids that are *not*
+        # peers (the crawler's own identity, refused candidates) or no
+        # node_id at all — handle them before the timeline bookkeeping
+        if event.type == "crawler":
+            crawler_id = _node_id(event)
+            if crawler_id is not None:
+                out.crawler_ids.add(crawler_id)
+                name = fields.get("name")
+                if isinstance(name, str):
+                    out.crawler_names[crawler_id] = name
+            continue
+        if event.type == "table_admission":
+            out.admission_rejections[str(fields.get("reason"))] += 1
+            subnet = fields.get("subnet")
+            if isinstance(subnet, str):
+                out.rejected_subnets[subnet] += 1
+            continue
+        if event.type == "breaker" and fields.get("scope") == "subnet":
+            if fields.get("new") == "open":
+                out.subnet_breaker_trips[str(fields.get("subnet"))] += 1
+            continue
         node_id = _node_id(event)
         if node_id is not None:
             timeline = out.timelines.get(node_id)

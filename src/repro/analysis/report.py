@@ -202,6 +202,64 @@ def render_churn(db: NodeDB, total_days: float) -> str:
     )
 
 
+def render_eclipse(detection) -> str:
+    """Eclipse-detection section: the forensic verdict of
+    :func:`repro.analysis.eclipse.detect_eclipse` over a replayed
+    journal.  Renders a deterministic "(no data)" body when the journal
+    carried nothing to score, so empty and failed-dials-only crawls
+    still produce byte-stable output.
+    """
+    lines = [
+        "Eclipse detection",
+        "-----------------",
+        f"observed peers               {detection.observed_nodes}",
+    ]
+    if detection.observed_nodes == 0:
+        lines.append("(no data: journal carries no peer observations)")
+        return "\n".join(lines)
+    lines.append(
+        f"densest /24 share            {detection.top_subnet_share:7.1%}"
+    )
+    lines.append(
+        f"densest /24 dial share       {detection.hostile_dial_share:7.1%}"
+    )
+    if detection.bucket_skew > 0:
+        lines.append(
+            f"near-bucket share (<= {detection.near_bucket_threshold})    "
+            f"{detection.near_bucket_share:7.1%}  "
+            f"(natural {detection.expected_near_share:.1%}, "
+            f"skew {detection.bucket_skew:.1f}x)"
+        )
+    else:
+        lines.append(
+            "near-bucket share            (no crawler identity on record)"
+        )
+    lines.append(
+        f"table-admission rejections   "
+        f"{detection.total_admission_rejections}"
+    )
+    for reason, count in sorted(detection.admission_rejections.items()):
+        lines.append(f"  {reason:<22} {count:>8}")
+    lines.append(
+        f"subnet breaker trips         {detection.subnet_breaker_trips}"
+    )
+    if detection.top_subnets:
+        lines.append("densest prefixes:")
+        for subnet, count, share in detection.top_subnets:
+            lines.append(f"  {subnet:<18} {count:>6} nodes  {share:7.1%}")
+    if detection.rejected_subnets:
+        lines.append("most-refused prefixes:")
+        for subnet, count in detection.rejected_subnets:
+            lines.append(f"  {subnet:<18} {count:>6} rejections")
+    if detection.alarm:
+        lines.append("ALARM: eclipse fingerprints present")
+        for trigger in detection.triggers:
+            lines.append(f"  - {trigger}")
+    else:
+        lines.append("verdict: no eclipse fingerprints above thresholds")
+    return "\n".join(lines)
+
+
 def render_crawl_report(
     db: NodeDB,
     head_height: int = 0,

@@ -105,6 +105,10 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
         print("analyze: --sightings needs --journal (timelines are "
               "journal-derived)", file=sys.stderr)
         return 2
+    if args.eclipse and not args.journal:
+        print("analyze: --eclipse needs --journal (detection reads crawler "
+              "identities and defence events)", file=sys.stderr)
+        return 2
     replayed = None
     if args.journal:
         replayed = replay_journals(args.journal)
@@ -127,6 +131,12 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     if args.sightings and replayed is not None:
         print()
         print(render_sightings(replayed.timelines.values()))
+    if args.eclipse and replayed is not None:
+        from repro.analysis.eclipse import detect_eclipse
+        from repro.analysis.report import render_eclipse
+
+        print()
+        print(render_eclipse(detect_eclipse(replayed)))
     return 0
 
 
@@ -201,9 +211,11 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     from repro.analysis.clients import client_share_table
     from repro.analysis.ecosystem import network_stats, service_table, useless_fraction
     from repro.analysis.render import format_table
+    from repro.nodefinder.defense import DefenseConfig
     from repro.nodefinder.fleet import run_fleet
     from repro.nodefinder.sanitize import sanitize
     from repro.nodefinder.scanner import NodeFinderConfig
+    from repro.simnet.adversary import AdversaryCampaign, AdversaryConfig
     from repro.simnet.population import PopulationConfig
     from repro.simnet.world import SimWorld, WorldConfig
 
@@ -214,14 +226,22 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
             )
         )
     )
+    adversary = None
+    if args.adversary:
+        adversary = AdversaryCampaign(
+            AdversaryConfig(sybil_count=args.sybils, seed=args.seed ^ 0xEC)
+        )
     fleet = run_fleet(
         world,
         instance_count=args.instances,
         days=args.days,
         config=NodeFinderConfig(
-            discovery_interval=args.discovery_interval, shards=args.shards
+            discovery_interval=args.discovery_interval,
+            shards=args.shards,
+            defenses=DefenseConfig() if args.defenses else None,
         ),
         telemetry_dir=args.telemetry_dir,
+        adversary=adversary,
     )
     if args.telemetry_dir:
         journals = " ".join(f"--journal {path}" for path in fleet.journal_paths)
@@ -246,6 +266,24 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
           f"{stats.single_peer_networks} single-peer, "
           f"mainnet share {stats.mainnet_share:.1%}")
     print(f"useless-peer fraction (§6.1): {useless_fraction(db):.1%}")
+    if adversary is not None:
+        victim = fleet.instances[0]
+        print()
+        print(
+            f"adversary: {len(adversary.attackers)} sybils in "
+            f"{adversary.config.subnet} + {len(adversary.phantoms)} phantoms, "
+            f"{adversary.answers_served} poisoned NEIGHBORS served"
+        )
+        print(
+            f"victim table: {len(victim.table)} entries, attacker share "
+            f"{adversary.table_share(victim.table):.1%}"
+        )
+        defense = victim.defense_snapshot()
+        if args.defenses:
+            print(f"defences: {defense.summary()}; "
+                  f"anomaly={'yes' if defense.anomaly_detected else 'no'}")
+        else:
+            print("defences: off (run with --defenses to harden)")
     return 0
 
 
@@ -318,6 +356,14 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--telemetry-dir", metavar="DIR",
                           help="write per-instance journals + merged metrics here "
                                "(one journal per shard when --shards > 1)")
+    simulate.add_argument("--adversary", action="store_true",
+                          help="launch an eclipse/Sybil campaign against the "
+                               "first crawler instance")
+    simulate.add_argument("--sybils", type=int, default=48,
+                          help="attacker identities for --adversary")
+    simulate.add_argument("--defenses", action="store_true",
+                          help="harden the crawlers (table admission, subnet "
+                               "breakers, dial budget)")
     simulate.set_defaults(func=_cmd_simulate)
 
     casestudy = commands.add_parser("casestudy", help="reproduce the §3 case study")
@@ -352,6 +398,9 @@ def build_parser() -> argparse.ArgumentParser:
                          help="crawl window in days for churn (default: derived)")
     analyze.add_argument("--sightings", action="store_true",
                          help="append the Figure 12 sighting-interval section "
+                              "(journal input only)")
+    analyze.add_argument("--eclipse", action="store_true",
+                         help="append the eclipse-detection section "
                               "(journal input only)")
     analyze.set_defaults(func=_cmd_analyze)
 

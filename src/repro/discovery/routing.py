@@ -10,12 +10,15 @@ come from the wrong region of the ID space.
 from __future__ import annotations
 
 import time
-from typing import Callable, Iterable, Iterator, Optional
+from typing import TYPE_CHECKING, Callable, Iterable, Iterator, Optional
 
 from repro.crypto.keccak import keccak256
 from repro.discovery import distance as dist
 from repro.discovery.enode import ENode
 from repro.discovery.kbucket import DEFAULT_BUCKET_SIZE, KBucket
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.discovery.admission import TableAdmission
 
 #: Kademlia concurrency factor (paper §2.1: "typically three").
 ALPHA = 3
@@ -39,6 +42,7 @@ class RoutingTable:
         bucket_size: int = DEFAULT_BUCKET_SIZE,
         metric: MetricFn = dist.geth_log_distance,
         clock: Callable[[], float] = time.monotonic,
+        admission: Optional["TableAdmission"] = None,
     ) -> None:
         if len(own_id_hash) != 32:
             raise ValueError("own ID hash must be 32 bytes")
@@ -46,6 +50,8 @@ class RoutingTable:
         self.metric = metric
         self.bucket_size = bucket_size
         self._clock = clock
+        #: optional anti-Sybil occupancy guard consulted on new inserts
+        self.admission = admission
         self._buckets: dict[int, KBucket] = {}
         self._nodes_by_id: dict[bytes, ENode] = {}
 
@@ -85,14 +91,23 @@ class RoutingTable:
 
         Returns the eviction-check candidate if the target bucket was full
         (see :meth:`KBucket.touch`), else None.  The node's own ID is
-        silently ignored.
+        silently ignored, as is a genuinely-new node the optional
+        admission guard refuses (refreshes of already-admitted nodes are
+        never guarded).
         """
         id_hash = node.id_hash
         if id_hash == self.own_id_hash:
             return None
+        bucket_index = self.metric(self.own_id_hash, id_hash)
         bucket = self.bucket_for(id_hash)
+        known = bucket.entry_for(node.node_id) is not None
+        if not known and self.admission is not None:
+            if self.admission.check(node, bucket_index) is not None:
+                return None
         candidate = bucket.touch(node)
         if bucket.entry_for(node.node_id) is not None:
+            if not known and self.admission is not None:
+                self.admission.note_add(node, bucket_index)
             self._nodes_by_id[node.node_id] = node
         return candidate
 
@@ -105,19 +120,29 @@ class RoutingTable:
         bucket = self.bucket_for(node.id_hash)
         replacement = bucket.evict(node.node_id)
         self._nodes_by_id.pop(node.node_id, None)
+        if self.admission is not None:
+            self.admission.note_remove(node.node_id)
         if replacement is not None:
+            if self.admission is not None:
+                self.admission.note_add(
+                    replacement, self.bucket_index_of(replacement)
+                )
             self._nodes_by_id[replacement.node_id] = replacement
         return replacement
 
     def remove(self, node: ENode) -> bool:
         removed = self.bucket_for(node.id_hash).remove(node.node_id)
         self._nodes_by_id.pop(node.node_id, None)
+        if removed and self.admission is not None:
+            self.admission.note_remove(node.node_id)
         return removed
 
     def note_failure(self, node: ENode, max_fails: int = 5) -> bool:
         dropped = self.bucket_for(node.id_hash).note_failure(node.node_id, max_fails)
         if dropped:
             self._nodes_by_id.pop(node.node_id, None)
+            if self.admission is not None:
+                self.admission.note_remove(node.node_id)
         return dropped
 
     def get(self, node_id: bytes) -> Optional[ENode]:

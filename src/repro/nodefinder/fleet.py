@@ -18,6 +18,7 @@ from pathlib import Path
 from repro.nodefinder.database import NodeDB
 from repro.nodefinder.records import CrawlStats
 from repro.nodefinder.scanner import NodeFinderConfig, NodeFinderInstance
+from repro.simnet.adversary import AdversaryCampaign
 from repro.simnet.world import SimWorld
 from repro.telemetry import NULL_TELEMETRY, EventJournal, Telemetry, merge_snapshots
 
@@ -68,6 +69,7 @@ def run_fleet(
     config: NodeFinderConfig | None = None,
     watch_bootstrap: bool = False,
     telemetry_dir: str | Path | None = None,
+    adversary: AdversaryCampaign | None = None,
 ) -> Fleet:
     """Start ``instance_count`` crawlers and run the world for ``days``.
 
@@ -79,6 +81,13 @@ def run_fleet(
     ``repro.analysis.ingest.replay_journals`` merges back into a single
     timeline — and the merged metrics snapshot is written to
     ``<dir>/metrics.json`` when the run completes.
+
+    With ``adversary`` the campaign is launched against the *first*
+    instance's node ID after every instance has minted its identity but
+    before any starts crawling — the attacker is in place when the victim
+    boots, the worst case of the eclipse literature.  Instance identities
+    draw from the builder RNG and start() from the world RNG, so the
+    two-phase ordering leaves an adversary-free run bit-identical.
     """
     export_dir = Path(telemetry_dir) if telemetry_dir is not None else None
     if export_dir is not None:
@@ -121,8 +130,11 @@ def run_fleet(
         )
         if watch_bootstrap and bootstrap:
             instance.watch_bootstrap(bootstrap[0].node_id)
-        instance.start(bootstrap)
         instances.append(instance)
+    if adversary is not None and instances:
+        adversary.launch(world, victim_node_id=instances[0].node_id)
+    for instance in instances:
+        instance.start(bootstrap)
     fleet = Fleet(world=world, instances=instances, journal_paths=journal_paths)
     try:
         world.run_days(days)

@@ -133,6 +133,7 @@ class LiveNodeFinder:
                         registry=self.telemetry.registry,
                         journal=shard_journals[index],
                         clock=self.clock,
+                        shard=str(index),
                     )
                 else:
                     shard_telemetry = self.telemetry
@@ -157,14 +158,16 @@ class LiveNodeFinder:
         telemetry = self.telemetry
         return {
             "lookups": int(telemetry.lookups.value),
+            # shard workers emit under their own ``shard`` label; total()
+            # folds every worker's series into the crawl-wide count
             "dynamic_dials": int(
-                telemetry.scheduled_dials.labels(type="dynamic-dial").value
+                telemetry.scheduled_dials.total(type="dynamic-dial")
             ),
             "static_dials": int(
-                telemetry.scheduled_dials.labels(type="static-dial").value
+                telemetry.scheduled_dials.total(type="static-dial")
             ),
-            "dial_failures": int(telemetry.dial_failures.value),
-            "breaker_skips": int(telemetry.breaker_skips.value),
+            "dial_failures": int(telemetry.dial_failures.total()),
+            "breaker_skips": int(telemetry.breaker_skips.total()),
             "loop_crashes": int(telemetry.loop_crashes.value),
             "loop_restarts": int(telemetry.loop_restarts.value),
             "loop_deaths": int(telemetry.loop_deaths.value),
@@ -289,7 +292,7 @@ class LiveNodeFinder:
                     if isinstance(outcome, asyncio.CancelledError):
                         raise outcome
                     if isinstance(outcome, BaseException):
-                        self.telemetry.dial_failures.inc()
+                        self.telemetry.record_dial_crash()
                         logger.warning(
                             "dynamic dial of %s crashed: %r",
                             node.short_id(),
@@ -323,7 +326,7 @@ class LiveNodeFinder:
                 except asyncio.CancelledError:
                     raise
                 except Exception as exc:
-                    self.telemetry.dial_failures.inc()
+                    self.telemetry.record_dial_crash()
                     logger.warning(
                         "static dial of %s crashed: %r", enode.short_id(), exc
                     )
@@ -383,7 +386,7 @@ class LiveNodeFinder:
                     if isinstance(outcome, asyncio.CancelledError):
                         raise outcome
                     if isinstance(outcome, BaseException):
-                        shard.telemetry.dial_failures.inc()
+                        shard.telemetry.record_dial_crash()
                         logger.warning(
                             "shard %d %s of %s crashed: %r",
                             shard.index,
@@ -420,7 +423,7 @@ class LiveNodeFinder:
 
     async def _dial(self, target: ENode, connection_type: str) -> None:
         if not self.breakers.allow(target.node_id):
-            self.telemetry.breaker_skips.inc()
+            self.telemetry.record_breaker_skip()
             return
         async with self._dial_semaphore:
             self._dialed_once.add(target.node_id)
@@ -434,7 +437,7 @@ class LiveNodeFinder:
                 retry_rng=self.rng,
                 telemetry=self.telemetry,
             )
-        self.telemetry.scheduled_dials.labels(type=connection_type).inc()
+        self.telemetry.record_scheduled_dial(connection_type)
         self.writer.submit(result)
         if result.outcome.completed:
             self.breakers.record_success(target.node_id)
@@ -450,7 +453,7 @@ class LiveNodeFinder:
         self, shard: ShardState, target: ENode, connection_type: str
     ) -> None:
         if not shard.breakers.allow(target.node_id):
-            shard.telemetry.breaker_skips.inc()
+            shard.telemetry.record_breaker_skip()
             return
         async with shard.semaphore:
             self._dialed_once.add(target.node_id)
@@ -464,7 +467,7 @@ class LiveNodeFinder:
                 retry_rng=self.rng,
                 telemetry=shard.telemetry,
             )
-        shard.telemetry.scheduled_dials.labels(type=connection_type).inc()
+        shard.telemetry.record_scheduled_dial(connection_type)
         shard.telemetry.shard_dials.labels(
             shard=str(shard.index), type=connection_type
         ).inc()

@@ -21,12 +21,15 @@ import zlib
 from dataclasses import dataclass
 from typing import Optional
 
+from repro.discovery.admission import TableAdmission
 from repro.discovery.enode import ENode, _cached_id_hash as cached_id_hash
 from repro.discovery.routing import RoutingTable
 from repro.errors import DiscoveryError
 from repro.nodefinder.database import NodeDB
+from repro.nodefinder.defense import DefenseConfig, DefenseStats
 from repro.nodefinder.records import CrawlStats
 from repro.nodefinder.shard import NodeDBWriter, ShardPlan
+from repro.resilience.breaker import BreakerState, PeerScoreboard
 from repro.simnet.clock import SECONDS_PER_DAY, SECONDS_PER_HOUR
 from repro.simnet.geo import Location
 from repro.simnet.node import DialOutcome, DialResult
@@ -67,6 +70,10 @@ class NodeFinderConfig:
     #: NodeDBWriter, so any N produces the same NodeDB as shards=1 (the
     #: shard-conformance suite pins this)
     shards: int = 1
+    #: hostile-load hardening (table admission, subnet breakers, dial
+    #: budget — see :mod:`repro.nodefinder.defense`).  None keeps the
+    #: crawler byte-for-byte on its historical undefended behaviour.
+    defenses: Optional[DefenseConfig] = None
 
 
 class NodeFinderInstance:
@@ -90,9 +97,32 @@ class NodeFinderInstance:
         self.node_id = self.rng.randbytes(64)
         self.db = NodeDB()
         self.stats = CrawlStats()
+        #: what the hardening layer absorbed (empty when defenses=None)
+        self.defense_stats = DefenseStats()
+        defenses = self.config.defenses
+        admission: Optional[TableAdmission] = None
+        self.scoreboard: Optional[PeerScoreboard] = None
+        if defenses is not None:
+            admission = TableAdmission(
+                ips_per_subnet=defenses.table_ips_per_subnet,
+                ips_per_bucket=defenses.table_ips_per_bucket,
+                ids_per_ip=defenses.table_ids_per_ip,
+                prefix_bits=defenses.subnet_prefix_bits,
+                on_reject=self._on_table_reject,
+            )
+            self.scoreboard = PeerScoreboard(
+                failure_threshold=defenses.breaker_failure_threshold,
+                cooldown=defenses.breaker_cooldown,
+                clock=self._world_now,
+                on_transition=self._on_breaker,
+                subnet_failure_threshold=defenses.subnet_failure_threshold,
+                subnet_cooldown=defenses.subnet_cooldown,
+                subnet_prefix_bits=defenses.subnet_prefix_bits,
+                on_subnet_transition=self._on_subnet_breaker,
+            )
         #: the crawler's own Kademlia routing table (Geth metric) — lookups
         #: pick their alpha starting candidates from here, as Geth does
-        self.table = RoutingTable.for_node_id(self.node_id)
+        self.table = RoutingTable.for_node_id(self.node_id, admission=admission)
         #: discovery pool: everything we can dial (address book)
         self.addresses: dict[bytes, NodeAddress] = {}
         #: dial history: node id -> last dynamic-dial attempt time
@@ -114,14 +144,45 @@ class NodeFinderInstance:
                     f"{self.shard_count} shards"
                 )
             # each shard journals on its own file but shares the crawl's
-            # metrics registry, so counters aggregate exactly as unsharded
+            # metrics registry, so counters aggregate exactly as unsharded;
+            # the shard label keeps each worker's series separable
             clock = lambda: world.now  # noqa: E731 - the world timeline
             self._shard_telemetry = [
-                Telemetry(registry=telemetry.registry, journal=journal, clock=clock)
-                for journal in shard_journals
+                Telemetry(
+                    registry=telemetry.registry,
+                    journal=journal,
+                    clock=clock,
+                    shard=str(index),
+                )
+                for index, journal in enumerate(shard_journals)
             ]
         else:
             self._shard_telemetry = [telemetry] * self.shard_count
+
+    # -- defence plumbing -------------------------------------------------------
+
+    def _world_now(self) -> float:
+        return self.world.now
+
+    def _on_table_reject(self, node: ENode, reason: str, subnet: Optional[str]) -> None:
+        self.defense_stats.note_rejection(reason)
+        self.telemetry.record_table_admission(node.node_id, node.ip, reason, subnet)
+
+    def _on_breaker(self, node_id: bytes, old: BreakerState, new: BreakerState) -> None:
+        self.telemetry.record_breaker(node_id, old, new)
+
+    def _on_subnet_breaker(
+        self, subnet: str, old: BreakerState, new: BreakerState
+    ) -> None:
+        if new is BreakerState.OPEN:
+            self.defense_stats.subnet_breaker_trips += 1
+        self.telemetry.record_subnet_breaker(subnet, old, new)
+
+    def defense_snapshot(self) -> DefenseStats:
+        """The hardening layer's absorption counters, with live breaker state."""
+        if self.scoreboard is not None:
+            self.defense_stats.open_subnets = self.scoreboard.open_subnets
+        return self.defense_stats
 
     @property
     def static_nodes(self) -> dict[bytes, float]:
@@ -144,6 +205,13 @@ class NodeFinderInstance:
         if self._started:
             return
         self._started = True
+        # journal which identity this crawl presents (once per journal —
+        # unsharded runs alias the same Telemetry N times)
+        distinct = {id(self.telemetry): self.telemetry}
+        for shard_telemetry in self._shard_telemetry:
+            distinct.setdefault(id(shard_telemetry), shard_telemetry)
+        for shard_telemetry in distinct.values():
+            shard_telemetry.record_crawler_identity(self.node_id, self.name)
         clock = self.world.clock
         for address in bootstrap or self.world.bootstrap_addresses():
             self._learn(address)
@@ -183,17 +251,32 @@ class NodeFinderInstance:
         # this tick cannot change (each node id appears once per lookup),
         # so batching is dial-order neutral — shards=1 produces exactly the
         # pre-shard interleaved sequence.
-        batches: list[list[NodeAddress]] = [[] for _ in range(self.shard_count)]
+        eligible: list[NodeAddress] = []
         for address in results:
             if address.node_id == self.node_id:
                 continue
-            shard_index = self.plan.shard_of(address.node_id)
-            if address.node_id in self._statics[shard_index]:
+            if address.node_id in self._statics[self.plan.shard_of(address.node_id)]:
                 continue
             if self.dial_history.get(address.node_id, -1e18) > horizon:
                 continue
+            eligible.append(address)
+        budget = (
+            self.config.defenses.max_dynamic_dials_per_tick
+            if self.config.defenses is not None
+            else None
+        )
+        if budget is not None and len(eligible) > budget:
+            # amplification guard: shed the overflow *before* it enters the
+            # dial history, so honest targets dropped this tick are still
+            # dialable next tick instead of blocked for the history window
+            dropped = len(eligible) - budget
+            eligible = eligible[:budget]
+            self.defense_stats.budget_dropped_dials += dropped
+            self.telemetry.record_budget_drop(dropped)
+        batches: list[list[NodeAddress]] = [[] for _ in range(self.shard_count)]
+        for address in eligible:
             self.dial_history[address.node_id] = now
-            batches[shard_index].append(address)
+            batches[self.plan.shard_of(address.node_id)].append(address)
         for shard_index, batch in enumerate(batches):
             for address in batch:
                 self._dial(address, "dynamic-dial", shard_index)
@@ -255,11 +338,32 @@ class NodeFinderInstance:
 
     # -- dialing -------------------------------------------------------------------
 
+    def _breaker_allows(self, node_id: bytes, ip: str) -> bool:
+        """Peer + subnet breaker gate (always open when defenses=None)."""
+        if self.scoreboard is None:
+            return True
+        if self.scoreboard.allow(node_id, ip):
+            return True
+        self.defense_stats.breaker_skips += 1
+        self.telemetry.record_breaker_skip()
+        return False
+
+    def _score_dial(self, address: NodeAddress, result: DialResult) -> None:
+        if self.scoreboard is None:
+            return
+        if result.outcome is DialOutcome.TIMEOUT:
+            self.scoreboard.record_failure(address.node_id, address.ip)
+        else:
+            self.scoreboard.record_success(address.node_id, address.ip)
+
     def _dial(
         self, address: NodeAddress, connection_type: str, shard_index: int = 0
-    ) -> DialResult:
+    ) -> Optional[DialResult]:
+        if not self._breaker_allows(address.node_id, address.ip):
+            return None
         result = self.world.dial(address, connection_type, self.location)
         self._record(result, shard_index)
+        self._score_dial(address, result)
         if result.outcome is not DialOutcome.TIMEOUT:
             # §4: successful dynamic-dials are added to StaticNodes and
             # re-dialed every 30 minutes; completion of any outbound attempt
@@ -298,8 +402,11 @@ class NodeFinderInstance:
             self._statics[shard_index][node_id] = (
                 now + self.config.static_dial_interval
             )
+            if not self._breaker_allows(node_id, address.ip):
+                continue
             result = self.world.dial(address, "static-dial", self.location)
             self._record(result, shard_index)
+            self._score_dial(address, result)
 
     def _prune_stale(self) -> None:
         """Drop addresses with no successful TCP connection for >24h (§4)."""

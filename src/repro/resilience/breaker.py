@@ -16,8 +16,9 @@ without sleeping.
 from __future__ import annotations
 
 import enum
+import ipaddress
 import time
-from typing import Callable, Dict, Optional
+from typing import Callable, Dict, Optional, Tuple
 
 
 class BreakerState(enum.Enum):
@@ -93,6 +94,19 @@ class CircuitBreaker:
         self._probing = True
         return True
 
+    def would_allow(self) -> bool:
+        """:meth:`allow` without consuming the HALF_OPEN probe slot.
+
+        Lets a caller combine several breakers (peer + subnet) and only
+        burn probe slots once every dimension has agreed to the dial.
+        """
+        state = self._sync_state()
+        if state is BreakerState.CLOSED:
+            return True
+        if state is BreakerState.OPEN:
+            return False
+        return not self._probing
+
     def record_success(self) -> None:
         self.failures = 0
         self._opened_at = None
@@ -113,11 +127,35 @@ class CircuitBreaker:
         self._sync_state()
 
 
+def subnet_of(ip: Optional[str], prefix_bits: int = 24) -> Optional[str]:
+    """The ``a.b.c.0/24``-style prefix an address belongs to.
+
+    Returns ``None`` for missing or unparseable addresses so callers can
+    skip the subnet dimension for them.
+    """
+    if not ip:
+        return None
+    try:
+        return str(ipaddress.ip_network(f"{ip}/{prefix_bits}", strict=False))
+    except ValueError:
+        return None
+
+
 class PeerScoreboard:
     """Circuit breakers keyed by node ID, lazily created.
 
     ``on_transition(node_id, old, new)`` mirrors the per-breaker hook
     with the owning node ID bound in.
+
+    A second, optional *subnet* dimension guards against coordinated
+    failure: when ``subnet_failure_threshold`` is set, every dial outcome
+    also scores a breaker keyed by the peer's ``/subnet_prefix_bits``
+    prefix, and :meth:`allow` refuses a peer whose whole prefix has
+    tripped — a Sybil swarm minted from one /24 burns one breaker, not
+    one breaker per phantom enode.  Callers opt in per call by passing
+    the peer's ``ip``; probe slots are only consumed once both
+    dimensions agree, so combining them cannot wedge either breaker in
+    HALF_OPEN.
     """
 
     def __init__(
@@ -128,12 +166,25 @@ class PeerScoreboard:
         on_transition: Optional[
             Callable[[bytes, BreakerState, BreakerState], None]
         ] = None,
+        subnet_failure_threshold: Optional[int] = None,
+        subnet_cooldown: Optional[float] = None,
+        subnet_prefix_bits: int = 24,
+        on_subnet_transition: Optional[
+            Callable[[str, BreakerState, BreakerState], None]
+        ] = None,
     ) -> None:
         self.failure_threshold = failure_threshold
         self.cooldown = cooldown
         self._clock = clock
         self._on_transition = on_transition
         self._breakers: Dict[bytes, CircuitBreaker] = {}
+        self.subnet_failure_threshold = subnet_failure_threshold
+        self.subnet_cooldown = (
+            subnet_cooldown if subnet_cooldown is not None else cooldown
+        )
+        self.subnet_prefix_bits = subnet_prefix_bits
+        self._on_subnet_transition = on_subnet_transition
+        self._subnet_breakers: Dict[str, CircuitBreaker] = {}
 
     def breaker(self, node_id: bytes) -> CircuitBreaker:
         existing = self._breakers.get(node_id)
@@ -154,17 +205,63 @@ class PeerScoreboard:
             self._breakers[node_id] = existing
         return existing
 
-    def allow(self, node_id: bytes) -> bool:
-        return self.breaker(node_id).allow()
+    def _subnet_breaker(self, ip: Optional[str]) -> Optional[CircuitBreaker]:
+        if self.subnet_failure_threshold is None:
+            return None
+        subnet = subnet_of(ip, self.subnet_prefix_bits)
+        if subnet is None:
+            return None
+        existing = self._subnet_breakers.get(subnet)
+        if existing is None:
+            hook = None
+            if self._on_subnet_transition is not None:
+                report = self._on_subnet_transition
 
-    def record_success(self, node_id: bytes) -> None:
+                def hook(old, new, _subnet=subnet):
+                    report(_subnet, old, new)
+
+            existing = CircuitBreaker(
+                failure_threshold=self.subnet_failure_threshold,
+                cooldown=self.subnet_cooldown,
+                clock=self._clock,
+                on_transition=hook,
+            )
+            self._subnet_breakers[subnet] = existing
+        return existing
+
+    def allow(self, node_id: bytes, ip: Optional[str] = None) -> bool:
+        peer = self.breaker(node_id)
+        subnet = self._subnet_breaker(ip)
+        if subnet is None:
+            return peer.allow()
+        # probe-slot discipline: agree on both dimensions before
+        # consuming either HALF_OPEN probe, else a refused dial would
+        # leave the other breaker waiting on a report that never comes
+        if not peer.would_allow() or not subnet.would_allow():
+            return False
+        return peer.allow() and subnet.allow()
+
+    def record_success(self, node_id: bytes, ip: Optional[str] = None) -> None:
         self.breaker(node_id).record_success()
+        subnet = self._subnet_breaker(ip)
+        if subnet is not None:
+            subnet.record_success()
 
-    def record_failure(self, node_id: bytes) -> None:
+    def record_failure(self, node_id: bytes, ip: Optional[str] = None) -> None:
         self.breaker(node_id).record_failure()
+        subnet = self._subnet_breaker(ip)
+        if subnet is not None:
+            subnet.record_failure()
 
     def state(self, node_id: bytes) -> BreakerState:
         existing = self._breakers.get(node_id)
+        return existing.state if existing is not None else BreakerState.CLOSED
+
+    def subnet_state(self, ip: Optional[str]) -> BreakerState:
+        subnet = subnet_of(ip, self.subnet_prefix_bits)
+        existing = (
+            self._subnet_breakers.get(subnet) if subnet is not None else None
+        )
         return existing.state if existing is not None else BreakerState.CLOSED
 
     @property
@@ -172,6 +269,17 @@ class PeerScoreboard:
         """Peers currently backed off (OPEN), for stats surfacing."""
         return sum(
             1 for b in self._breakers.values() if b.state is BreakerState.OPEN
+        )
+
+    @property
+    def open_subnets(self) -> Tuple[str, ...]:
+        """Prefixes currently backed off wholesale, sorted for stats."""
+        return tuple(
+            sorted(
+                subnet
+                for subnet, breaker in self._subnet_breakers.items()
+                if breaker.state is BreakerState.OPEN
+            )
         )
 
     def forget(self, node_id: bytes) -> None:

@@ -1,0 +1,303 @@
+"""Attacker node models living inside the simulated world.
+
+"Eclipsing Ethereum Peers with False Friends" (Henningsen et al., see
+PAPERS.md) showed the discovery stack this repo reimplements is
+vulnerable to coordinated table poisoning.  This module puts those
+attackers *inside* the simnet so the crawler, its breakers, and its
+retry machinery face a hostile population on the same deterministic
+world clock as everything else:
+
+* **Sybil swarm** — ``sybil_count`` attacker identities minted from a
+  single /24 (``subnet``), spread over a configurable set of ASes, all
+  always-online, always-reachable, masquerading as synced Mainnet Geth
+  nodes that accept every connection (so a victim keeps them on its
+  StaticNodes schedule and re-dials them forever);
+* **node-ID grinding** — a quota of Sybil IDs is ground (drawn until
+  their keccak lands at a chosen Geth log-distance from the victim's ID
+  hash, reusing :func:`~repro.discovery.distance.geth_log_distance`) so
+  the swarm concentrates in the victim's near k-buckets, where random
+  IDs essentially never fall;
+* **false-friend NEIGHBORS** — an attacker answers FIND_NODE with
+  confederates only, XOR-sorted toward the target so the answer looks
+  protocol-correct while steering every lookup branch that touches an
+  attacker back into the swarm;
+* **FINDNODE amplification** — each poisoned answer is padded with
+  *phantoms*: node IDs that exist nowhere in the world, whose addresses
+  sit in the attacker subnet.  Dialing a phantom is 15 s of dead air
+  (the world's unknown-ID timeout), so one cheap UDP answer amplifies
+  into minutes of wasted TCP dial budget on the victim.
+
+Everything is driven by one seeded ``random.Random``; launching the same
+campaign against the same world twice produces byte-identical runs.
+"""
+
+from __future__ import annotations
+
+import ipaddress
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.crypto.keccak import keccak256
+from repro.discovery.distance import geth_log_distance
+from repro.simnet.geo import Location
+from repro.simnet.node import SimNode
+from repro.simnet.population import NodeSpec
+from repro.simnet.world import SimWorld
+
+
+@dataclass
+class AdversaryConfig:
+    """One eclipse/Sybil campaign's knobs."""
+
+    #: Sybil identities registered as live world nodes
+    sybil_count: int = 48
+    #: the /24 the swarm (and its phantoms) is minted from
+    subnet: str = "66.66.66.0/24"
+    #: ASes the swarm claims, cycled over the identities (simnet.geo view)
+    asns: Tuple[str, ...] = ("AS-eclipse",)
+    #: victim buckets targeted by ID grinding (Geth log distances; a
+    #: random ID lands at distance d with P = 2^(d-257), so bucket 248 is
+    #: a 1-in-512 draw — the swarm over-represents the victim's near
+    #: buckets ~4x against the 2^(d-257) natural density)
+    grind_buckets: Tuple[int, ...] = (248, 249, 250, 251, 252)
+    grind_per_bucket: int = 2
+    #: draw cap for the grinder (the default quota needs ~2k draws)
+    grind_attempt_limit: int = 50_000
+    #: answer FIND_NODE with confederates only
+    false_friends: bool = True
+    #: phantom identity pool backing the amplification padding
+    phantom_pool: int = 192
+    #: phantoms mixed into each poisoned NEIGHBORS answer
+    phantoms_per_answer: int = 8
+    #: fraction of honest neighbour tables seeded with attackers at launch
+    infiltrate_fraction: float = 0.25
+    infiltrate_per_table: int = 3
+    #: campaign RNG seed (independent of the world seed)
+    seed: int = 666
+    #: the swarm never churns; keep it alive past any measurement window
+    departure_day: float = 10_000.0
+    client_string: str = "Geth/v1.8.7-stable-0cd5e0db/linux-amd64/go1.10"
+
+
+class _Phantom:
+    """A minted address with no node behind it — dials are dead air."""
+
+    __slots__ = ("spec",)
+
+    def __init__(self, spec: NodeSpec) -> None:
+        self.spec = spec
+
+
+class AttackerNode(SimNode):
+    """A Sybil: an ordinary-looking node whose NEIGHBORS answers lie."""
+
+    __slots__ = ("campaign",)
+
+    def __init__(
+        self,
+        spec: NodeSpec,
+        builder,
+        rng: random.Random,
+        campaign: "AdversaryCampaign",
+    ) -> None:
+        super().__init__(spec, builder, rng)
+        self.campaign = campaign
+        # accept every dial: the victim keeps the Sybil on its StaticNodes
+        # schedule and burns a re-dial on it every cycle
+        self.occupancy = 0.0
+        self.status_reliability = 1.0
+
+    def find_node(self, target_hash: bytes, count: int = 16) -> List:
+        if not self.campaign.config.false_friends:
+            return super().find_node(target_hash, count)
+        return self.campaign.poisoned_answer(target_hash, count)
+
+
+class AdversaryCampaign:
+    """Mints the swarm, injects it into a world, and scores the result."""
+
+    def __init__(self, config: Optional[AdversaryConfig] = None) -> None:
+        self.config = config or AdversaryConfig()
+        self._rng = random.Random(self.config.seed)
+        self.attackers: List[AttackerNode] = []
+        self.phantoms: List[_Phantom] = []
+        self.attacker_ids: Set[bytes] = set()
+        self.phantom_ids: Set[bytes] = set()
+        #: ground IDs by the victim bucket they landed in
+        self.ground_ids: Dict[int, List[bytes]] = {}
+        self.victim_node_id: Optional[bytes] = None
+        self.answers_served = 0
+        self.infiltrated_tables = 0
+        self._phantom_cursor = 0
+        self._launched = False
+
+    # -- minting ------------------------------------------------------------
+
+    def _subnet_ips(self) -> List[str]:
+        network = ipaddress.ip_network(self.config.subnet)
+        return [str(host) for host in network.hosts()]
+
+    def _location(self, ip: str, index: int) -> Location:
+        asns = self.config.asns or ("AS-eclipse",)
+        return Location(
+            country="XX",
+            region="eu-west",
+            asn=asns[index % len(asns)],
+            is_cloud=True,
+            ip=ip,
+        )
+
+    def _grind(self, victim_hash: bytes) -> List[bytes]:
+        """Draw node IDs until the per-bucket quotas are filled."""
+        wanted = {
+            bucket: self.config.grind_per_bucket
+            for bucket in self.config.grind_buckets
+        }
+        remaining = sum(wanted.values())
+        ground: List[bytes] = []
+        for _ in range(self.config.grind_attempt_limit):
+            if remaining == 0:
+                break
+            candidate = self._rng.randbytes(64)
+            bucket = geth_log_distance(victim_hash, keccak256(candidate))
+            if wanted.get(bucket, 0) > 0:
+                wanted[bucket] -= 1
+                remaining -= 1
+                ground.append(candidate)
+                self.ground_ids.setdefault(bucket, []).append(candidate)
+        return ground
+
+    def _attacker_spec(self, node_id: bytes, ip: str, index: int, world: SimWorld) -> NodeSpec:
+        return NodeSpec(
+            node_id=node_id,
+            location=self._location(ip, index),
+            tcp_port=30303,
+            udp_port=30303,
+            service="eth",
+            capabilities=[("eth", 62), ("eth", 63)],
+            client_family="geth",
+            client_string=self.config.client_string,
+            version_behaviour=None,
+            peer_limit=10_000,
+            metric="geth",
+            network_name="mainnet",
+            network_id=1,
+            genesis_hash=world.mainnet.genesis_hash,
+            supports_dao=True,
+            reachable=True,
+            arrival_day=0.0,
+            departure_day=self.config.departure_day,
+            uptime_fraction=1.0,
+        )
+
+    # -- launch -------------------------------------------------------------
+
+    def launch(self, world: SimWorld, victim_node_id: bytes) -> None:
+        """Inject the swarm into ``world``, aimed at ``victim_node_id``.
+
+        Must run after the world is built and before the victim crawler
+        starts (mirroring an attacker who is in place when the victim
+        boots — the table-flush window of Marcus et al.).
+        """
+        if self._launched:
+            raise RuntimeError("campaign already launched")
+        self._launched = True
+        self.victim_node_id = victim_node_id
+        victim_hash = keccak256(victim_node_id)
+        ips = self._subnet_ips()
+        config = self.config
+
+        node_ids = self._grind(victim_hash)
+        while len(node_ids) < config.sybil_count:
+            node_ids.append(self._rng.randbytes(64))
+        node_ids = node_ids[: config.sybil_count]
+
+        for index, node_id in enumerate(node_ids):
+            spec = self._attacker_spec(
+                node_id, ips[index % len(ips)], index, world
+            )
+            attacker = AttackerNode(spec, world.builder, self._rng, self)
+            self.attackers.append(attacker)
+            self.attacker_ids.add(node_id)
+            world.nodes[node_id] = attacker
+        # confederate tables: even the non-poisoning fallback answers from
+        # the swarm, so every road through an attacker leads to attackers
+        for attacker in self.attackers:
+            attacker.neighbors = [
+                other for other in self.attackers if other is not attacker
+            ]
+
+        for index in range(config.phantom_pool):
+            node_id = self._rng.randbytes(64)
+            spec = self._attacker_spec(
+                node_id, ips[(config.sybil_count + index) % len(ips)], index, world
+            )
+            self.phantoms.append(_Phantom(spec))
+            self.phantom_ids.add(node_id)
+
+        self._infiltrate(world)
+
+    def _infiltrate(self, world: SimWorld) -> None:
+        """Seed attackers into a slice of honest neighbour tables.
+
+        From there the world's own neighbour-refresh churn keeps folding
+        the swarm into the discovery fabric, the same way a real attacker
+        rides organic NEIGHBORS gossip.
+        """
+        honest = [
+            node
+            for node in world.nodes.values()
+            if node.spec.node_id not in self.attacker_ids and node.neighbors
+        ]
+        if not honest or not self.attackers:
+            return
+        count = int(len(honest) * self.config.infiltrate_fraction)
+        per_table = min(self.config.infiltrate_per_table, len(self.attackers))
+        for node in self._rng.sample(honest, min(count, len(honest))):
+            node.neighbors.extend(self._rng.sample(self.attackers, per_table))
+            self.infiltrated_tables += 1
+
+    # -- the false-friend answer --------------------------------------------
+
+    def poisoned_answer(self, target_hash: bytes, count: int) -> List:
+        """Confederates XOR-sorted toward the target, padded with phantoms.
+
+        The sort makes the answer look protocol-correct (closest first);
+        the padding is the amplification — every phantom the victim dials
+        is 15 s of dead air charged to the attacker's /24.
+        """
+        self.answers_served += 1
+        target_int = int.from_bytes(target_hash, "big")
+        confederates = sorted(
+            self.attackers, key=lambda node: node.id_hash_int ^ target_int
+        )
+        phantom_slots = min(self.config.phantoms_per_answer, count)
+        answer: List = confederates[: max(0, count - phantom_slots)]
+        if self.phantoms:
+            for _ in range(min(phantom_slots, count - len(answer))):
+                answer.append(
+                    self.phantoms[self._phantom_cursor % len(self.phantoms)]
+                )
+                self._phantom_cursor += 1
+        return answer[:count]
+
+    # -- scoring ------------------------------------------------------------
+
+    def is_attacker(self, node_id: bytes) -> bool:
+        return node_id in self.attacker_ids or node_id in self.phantom_ids
+
+    def table_share(self, table) -> float:
+        """Attacker fraction of a routing table's live entries."""
+        entries = list(table)
+        if not entries:
+            return 0.0
+        hostile = sum(1 for node in entries if self.is_attacker(node.node_id))
+        return hostile / len(entries)
+
+    def observed_share(self, node_ids) -> float:
+        """Attacker fraction of an arbitrary observed-node-ID collection."""
+        ids = list(node_ids)
+        if not ids:
+            return 0.0
+        return sum(1 for node_id in ids if self.is_attacker(node_id)) / len(ids)

@@ -142,14 +142,25 @@ class GeoModel:
         )
 
     def fresh_ip(self, country: str) -> str:
-        """A unique synthetic IPv4 address, loosely clustered by country."""
+        """A unique synthetic IPv4 address, loosely clustered by country.
+
+        Addresses stay inside a per-country block (first/second octet) but
+        consecutive assignments rotate through distinct /24s: real
+        populations almost never stack many nodes into one /24 (Geth's
+        ``tableIPLimit`` counts on it), so only a deliberate Sybil swarm
+        concentrates there — honest worlds must not look like one.
+        """
         index = self._ip_space.get(country, 0)
         self._ip_space[country] = index + 1
-        # one /16 per (country, counter block); avoids reserved ranges
         block = zlib.crc32(country.encode()) % 200 + 16
-        high, low = divmod(index, 65536)
+        slot, third = divmod(index, 223)
+        high, fourth = divmod(slot, 254)
         second = (high * 7 + zlib.crc32(country.encode()) // 251) % 223 + 1
-        return str(ipaddress.IPv4Address((block << 24) | (second << 16) | low))
+        return str(
+            ipaddress.IPv4Address(
+                (block << 24) | (second << 16) | ((third + 1) << 8) | (fourth + 1)
+            )
+        )
 
     def rtt(self, a: Location, b: Location, rng: random.Random | None = None) -> float:
         """Smoothed round-trip time between two locations, seconds.

@@ -40,33 +40,48 @@ class Telemetry:
         registry: Optional[MetricsRegistry] = None,
         journal: Optional[EventJournal] = None,
         clock: Optional[Callable[[], float]] = None,
+        shard: str = "",
     ) -> None:
         self.clock = clock if clock is not None else time.monotonic
         self.registry = (
             registry if registry is not None else MetricsRegistry(clock=self.clock)
         )
         self.journal = journal
+        #: which crawl shard this facade instruments ("" = unsharded/whole
+        #: crawler).  Every family a shard worker emits carries it as a
+        #: label, so per-shard dashboards work off one shared registry;
+        #: sum across shards with ``Counter.total()``.
+        self.shard = shard
         registry_ = self.registry
         # -- harvest / dial funnel ------------------------------------------
         self.dials = registry_.counter(
             "nodefinder_dials_total",
             "harvest attempts by outcome and failing stage",
-            ("outcome", "stage"),
+            ("outcome", "stage", "shard"),
         )
         self.dial_seconds = registry_.histogram(
-            "nodefinder_dial_seconds", "wall time of one harvest attempt"
+            "nodefinder_dial_seconds",
+            "wall time of one harvest attempt",
+            ("shard",),
         )
         self.stage_seconds = registry_.histogram(
             "nodefinder_dial_stage_seconds",
             "wall time of one harvest stage",
-            ("stage",),
+            ("stage", "shard"),
         )
         self.retries = registry_.counter(
-            "nodefinder_retries_total", "backoff waits before dial re-attempts"
+            "nodefinder_retries_total",
+            "backoff waits before dial re-attempts",
+            ("shard",),
         )
         self.breaker_transitions = registry_.counter(
             "nodefinder_breaker_transitions_total",
             "circuit-breaker state changes by destination state",
+            ("to", "shard"),
+        )
+        self.subnet_breaker_transitions = registry_.counter(
+            "nodefinder_subnet_breaker_transitions_total",
+            "subnet-scope breaker state changes by destination state",
             ("to",),
         )
         # -- crawler scheduler ----------------------------------------------
@@ -76,13 +91,26 @@ class Telemetry:
         self.scheduled_dials = registry_.counter(
             "crawler_scheduled_dials_total",
             "dials the crawler scheduled, by connection type",
-            ("type",),
+            ("type", "shard"),
         )
         self.dial_failures = registry_.counter(
-            "crawler_dial_failures_total", "dials that crashed (not failed) in-loop"
+            "crawler_dial_failures_total",
+            "dials that crashed (not failed) in-loop",
+            ("shard",),
         )
         self.breaker_skips = registry_.counter(
-            "crawler_breaker_skips_total", "dials skipped on an open breaker"
+            "crawler_breaker_skips_total",
+            "dials skipped on an open breaker",
+            ("shard",),
+        )
+        self.budget_dropped_dials = registry_.counter(
+            "crawler_budget_dropped_dials_total",
+            "dial candidates shed by the per-tick dial budget",
+        )
+        self.table_rejections = registry_.counter(
+            "discovery_table_rejections_total",
+            "routing-table admissions refused by a guard, by reason",
+            ("reason",),
         )
         # -- sharded scheduler ----------------------------------------------
         self.shard_dials = registry_.counter(
@@ -167,13 +195,17 @@ class Telemetry:
         histograms from the span's stage children, and the journal's
         dial / hello / status / dao / disconnect records."""
         outcome = result.outcome.value
-        self.dials.labels(outcome=outcome, stage=result.failure_stage or "").inc()
-        self.dial_seconds.observe(result.duration)
+        self.dials.labels(
+            outcome=outcome, stage=result.failure_stage or "", shard=self.shard
+        ).inc()
+        self.dial_seconds.labels(shard=self.shard).observe(result.duration)
         stages = {}
         if span is not None:
             stages = span.stage_durations()
             for stage, duration in stages.items():
-                self.stage_seconds.labels(stage=stage).observe(duration)
+                self.stage_seconds.labels(stage=stage, shard=self.shard).observe(
+                    duration
+                )
         if self.journal is None:
             return
         node_id = _hex(result.node_id)
@@ -234,15 +266,63 @@ class Telemetry:
     def record_retry(
         self, node_id: Optional[bytes], attempt: int, delay: float
     ) -> None:
-        self.retries.inc()
+        self.retries.labels(shard=self.shard).inc()
         self.emit("retry", node_id=_hex(node_id), attempt=attempt, delay=delay)
 
     def record_breaker(
         self, node_id: bytes, old: "BreakerState", new: "BreakerState"
     ) -> None:
-        self.breaker_transitions.labels(to=new.value).inc()
+        self.breaker_transitions.labels(to=new.value, shard=self.shard).inc()
         self.emit(
             "breaker", node_id=_hex(node_id), old=old.value, new=new.value
+        )
+
+    def record_subnet_breaker(
+        self, subnet: str, old: "BreakerState", new: "BreakerState"
+    ) -> None:
+        """A subnet-scope breaker changed state (coordinated-failure guard)."""
+        self.subnet_breaker_transitions.labels(to=new.value).inc()
+        self.emit(
+            "breaker", scope="subnet", subnet=subnet, old=old.value, new=new.value
+        )
+
+    # -- crawler scheduler ---------------------------------------------------
+
+    def record_scheduled_dial(self, connection_type: str) -> None:
+        self.scheduled_dials.labels(type=connection_type, shard=self.shard).inc()
+
+    def record_dial_crash(self) -> None:
+        self.dial_failures.labels(shard=self.shard).inc()
+
+    def record_breaker_skip(self) -> None:
+        self.breaker_skips.labels(shard=self.shard).inc()
+
+    def record_budget_drop(self, count: int = 1) -> None:
+        if count > 0:
+            self.budget_dropped_dials.inc(count)
+
+    def record_crawler_identity(self, node_id: bytes, name: str) -> None:
+        """Journal which enode identity this crawler presents — analysis
+        needs it to tell the crawler's own table apart from peers."""
+        self.emit("crawler", node_id=_hex(node_id), name=name)
+
+    # -- discovery table admission ------------------------------------------
+
+    def record_table_admission(
+        self,
+        node_id: bytes,
+        ip: Optional[str],
+        reason: str,
+        subnet: Optional[str] = None,
+    ) -> None:
+        """A routing-table admission guard refused a candidate entry."""
+        self.table_rejections.labels(reason=reason).inc()
+        self.emit(
+            "table_admission",
+            node_id=_hex(node_id),
+            ip=ip,
+            reason=reason,
+            subnet=subnet,
         )
 
     # -- crawler loops -------------------------------------------------------

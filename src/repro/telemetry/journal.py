@@ -12,19 +12,24 @@ the same analyses that consume a live run.
 Event types emitted by the instrumented stack (see DESIGN.md §7 for the
 full field tables):
 
-=================  =====================================================
-``dial``           one per harvest attempt: outcome, stages, duration
-``hello``          peer's HELLO: client_id, capabilities, listen_port
-``status``         peer's STATUS: network_id, genesis/best hash, td
-``disconnect``     reason code + name, which side sent it
-``dao``            DAO-fork verdict: supports | opposes | empty
-``bond``           discovery endpoint-proof outcome
-``breaker``        circuit-breaker state transition
-``retry``          one backoff wait before a re-attempt
-``supervisor``     crawler-loop crash / restart / death
-``datagram_fault`` chaos fault injected into the UDP discovery socket
-``inbound``        served-side milestones on a FullNode
-=================  =====================================================
+==================  ====================================================
+``dial``            one per harvest attempt: outcome, stages, duration
+``hello``           peer's HELLO: client_id, capabilities, listen_port
+``status``          peer's STATUS: network_id, genesis/best hash, td
+``disconnect``      reason code + name, which side sent it
+``dao``             DAO-fork verdict: supports | opposes | empty
+``bond``            discovery endpoint-proof outcome
+``breaker``         circuit-breaker state transition; v3 adds the
+                    optional ``scope`` (``peer`` default | ``subnet``)
+                    and, for subnet scope, the ``subnet`` prefix
+``retry``           one backoff wait before a re-attempt
+``supervisor``      crawler-loop crash / restart / death
+``datagram_fault``  chaos fault injected into the UDP discovery socket
+``inbound``         served-side milestones on a FullNode
+``crawler``         (v3) the crawler's own enode identity + name
+``table_admission`` (v3) a routing-table admission guard refused a
+                    candidate: node_id, ip, subnet, reason
+==================  ====================================================
 """
 
 from __future__ import annotations
@@ -41,7 +46,10 @@ from repro.errors import ReproError
 #: attempt's start timestamp — ``ts`` is stamped when the record is
 #: written, after the dial finished), ``dial.tcp_port``, and
 #: ``status.best_block`` / ``status.head_height`` (freshness inputs).
-SCHEMA_VERSION = 2
+#: v3 (adversary PR) added the ``crawler`` and ``table_admission``
+#: event types and the optional ``breaker.scope``/``breaker.subnet``
+#: fields for subnet-dimension breaker trips.
+SCHEMA_VERSION = 3
 
 #: keys every record carries outside its event-specific fields
 _RESERVED = ("v", "type", "ts")
@@ -74,11 +82,19 @@ def _upgrade_v1(record: Dict[str, Any]) -> Dict[str, Any]:
     return record
 
 
+def _upgrade_v2(record: Dict[str, Any]) -> Dict[str, Any]:
+    """v2 → v3: purely additive — the new event types (``crawler``,
+    ``table_admission``) and the ``breaker.scope``/``subnet`` fields are
+    optional; a ``breaker`` record without ``scope`` is peer-scope."""
+    return record
+
+
 #: migration shim: maps an old schema version to the one-step upgrade
 #: toward ``version + 1``; chained until :data:`SCHEMA_VERSION` so old
 #: journals keep replaying
 MIGRATIONS: Dict[int, Callable[[Dict[str, Any]], Dict[str, Any]]] = {
     1: _upgrade_v1,
+    2: _upgrade_v2,
 }
 
 

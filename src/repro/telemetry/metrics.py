@@ -205,6 +205,26 @@ class Counter(Metric):
         child = self._children.get(())
         return child.value if child is not None else 0.0
 
+    def total(self, **match: str) -> float:
+        """Sum every child whose labels include ``match``.
+
+        ``dials.total()`` aggregates across all series (e.g. every shard);
+        ``dials.total(outcome="timeout")`` sums just the matching slice.
+        Unknown label names are a misuse, same as :meth:`labels`.
+        """
+        for name in match:
+            if name not in self.labelnames:
+                raise MetricError(
+                    f"{self.name} has labels {self.labelnames}, not {name!r}"
+                )
+        wanted = {name: str(value) for name, value in match.items()}
+        result = 0.0
+        for child in self._children.values():
+            labels = dict(child.labels)
+            if all(labels.get(name) == value for name, value in wanted.items()):
+                result += child.value  # type: ignore[attr-defined]
+        return result
+
 
 class Gauge(Metric):
     kind = "gauge"
@@ -363,6 +383,9 @@ class _NullChild:
 
     @property
     def value(self) -> float:
+        return 0.0
+
+    def total(self, **match: str) -> float:
         return 0.0
 
 

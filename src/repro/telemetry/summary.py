@@ -183,9 +183,20 @@ def summarize_snapshot(snapshot: dict) -> str:
     for series in metrics.get("nodefinder_dial_stage_seconds", {}).get("series", []):
         bounds = [bound for bound, _ in series["buckets"]]
         counts = [count for _, count in series["buckets"]]
-        stage_latency[series["labels"].get("stage", "?")] = _BucketQuantiler(
-            bounds, counts, series["inf"]
-        )
+        stage = series["labels"].get("stage", "?")
+        existing = stage_latency.get(stage)
+        if isinstance(existing, _BucketQuantiler) and existing._bounds == bounds:
+            # one series per shard label: fold the counts together rather
+            # than letting the last shard's histogram shadow the rest
+            existing._counts = [
+                mine + theirs
+                for mine, theirs in zip(existing._counts, counts)
+            ]
+            existing._inf += series["inf"]
+        else:
+            stage_latency[stage] = _BucketQuantiler(
+                bounds, counts, series["inf"]
+            )
 
     breaker: Counter = Counter()
     for series in metrics.get("nodefinder_breaker_transitions_total", {}).get(

@@ -6,6 +6,7 @@ import asyncio
 import random
 
 import pytest
+from hypothesis import given, settings, strategies as st
 
 from repro.resilience import (
     BreakerState,
@@ -255,6 +256,85 @@ class TestCircuitBreaker:
     def test_unknown_peer_is_closed(self):
         board = PeerScoreboard()
         assert board.state(b"\x07" * 64) is BreakerState.CLOSED
+
+
+class TestBreakerNeverWedges:
+    """Property: no sequence of outcomes leaves a breaker permanently
+    refusing dials.  Whatever state a failure/success/probe history
+    reaches, a peer that starts answering again is dialable within two
+    cooldown windows — the liveness half of the breaker contract (the
+    safety half, "OPEN refuses", is pinned above)."""
+
+    OPS = st.lists(
+        st.sampled_from(
+            ["failure", "success", "allow", "tick", "cooldown_tick"]
+        ),
+        max_size=40,
+    )
+
+    @given(ops=OPS)
+    @settings(max_examples=200, deadline=None)
+    def test_single_breaker_recovers(self, ops):
+        state = {"now": 0.0}
+        breaker = CircuitBreaker(
+            failure_threshold=3, cooldown=60.0, clock=lambda: state["now"]
+        )
+        for op in ops:
+            if op == "failure":
+                breaker.record_failure()
+            elif op == "success":
+                breaker.record_success()
+            elif op == "allow":
+                breaker.allow()  # may consume the HALF_OPEN probe slot
+            elif op == "tick":
+                state["now"] += 1.0
+            else:
+                state["now"] += 61.0
+        # recovery: wait out the cooldown; if the probe slot is held by a
+        # dial the sequence never reported, report it, and wait once more
+        state["now"] += 61.0
+        if not breaker.allow():
+            breaker.record_failure()
+            state["now"] += 61.0
+            assert breaker.allow(), "breaker wedged shut"
+        breaker.record_success()
+        assert breaker.state is BreakerState.CLOSED
+        assert breaker.allow()
+
+    @given(ops=OPS)
+    @settings(max_examples=100, deadline=None)
+    def test_scoreboard_with_subnet_dimension_recovers(self, ops):
+        state = {"now": 0.0}
+        board = PeerScoreboard(
+            failure_threshold=2,
+            cooldown=60.0,
+            clock=lambda: state["now"],
+            subnet_failure_threshold=3,
+            subnet_cooldown=120.0,
+        )
+        peer, other = b"\x01" * 64, b"\x02" * 64
+        ip, other_ip = "66.66.66.1", "66.66.66.2"
+        for op in ops:
+            if op == "failure":
+                board.record_failure(peer, ip)
+                board.record_failure(other, other_ip)
+            elif op == "success":
+                board.record_success(peer, ip)
+            elif op == "allow":
+                board.allow(peer, ip)
+            elif op == "tick":
+                state["now"] += 1.0
+            else:
+                state["now"] += 121.0
+        state["now"] += 121.0
+        if not board.allow(peer, ip):
+            board.record_failure(peer, ip)
+            state["now"] += 121.0
+            assert board.allow(peer, ip), "scoreboard wedged shut"
+        board.record_success(peer, ip)
+        assert board.state(peer) is BreakerState.CLOSED
+        assert board.subnet_state(ip) is BreakerState.CLOSED
+        assert board.allow(peer, ip)
 
 
 # -- LoopSupervisor ---------------------------------------------------------

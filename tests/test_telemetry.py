@@ -413,9 +413,10 @@ class TestTelemetryFacade:
             )
         )
         assert (
-            telemetry.dials.labels(outcome="timeout", stage="connect").value == 1
+            telemetry.dials.labels(outcome="timeout", stage="connect", shard="").value
+            == 1
         )
-        assert telemetry.dial_seconds.labels().count == 1
+        assert telemetry.dial_seconds.labels(shard="").count == 1
 
     def test_stage_histograms_fed_from_span_children(self):
         telemetry, _, clock = self.make()
@@ -425,8 +426,10 @@ class TestTelemetryFacade:
         child.finish()
         span.finish()
         telemetry.record_dial(full_result(), span=span)
-        assert telemetry.stage_seconds.labels(stage="connect").count == 1
-        assert telemetry.stage_seconds.labels(stage="connect").sum == pytest.approx(
+        assert telemetry.stage_seconds.labels(stage="connect", shard="").count == 1
+        assert telemetry.stage_seconds.labels(
+            stage="connect", shard=""
+        ).sum == pytest.approx(
             0.03
         )
 
@@ -454,7 +457,7 @@ class TestTelemetryFacade:
             ("open", "half-open"),
             ("half-open", "closed"),
         ]
-        assert telemetry.breaker_transitions.labels(to="open").value == 1
+        assert telemetry.breaker_transitions.labels(to="open", shard="").value == 1
 
     def test_supervisor_and_retry_records(self):
         telemetry, stream, _ = self.make()
@@ -475,7 +478,7 @@ class TestTelemetryFacade:
             "death",
         ]
         assert telemetry.loop_crashes.value == 1
-        assert telemetry.retries.value == 1
+        assert telemetry.retries.total() == 1
 
     def test_null_telemetry_records_nothing(self):
         from repro.telemetry import NULL_TELEMETRY

@@ -116,21 +116,21 @@ class TestCrawlWithTelemetry:
         refused = len(db) - harvested
         assert (harvested, refused) == (2, 1)
         assert (
-            telemetry.dials.labels(outcome="full-harvest", stage="").value
+            telemetry.dials.labels(outcome="full-harvest", stage="", shard="").value
             == harvested
         )
         assert (
-            telemetry.dials.labels(outcome="refused", stage="connect").value
+            telemetry.dials.labels(outcome="refused", stage="connect", shard="").value
             == refused
         )
         # journal and registry agree on the total
-        assert telemetry.dial_seconds.labels().count == len(
+        assert telemetry.dial_seconds.labels(shard="").count == len(
             [e for e in events if e.type == "dial"]
         )
         # per-stage histograms saw each full harvest exactly once
         for stage in FULL_HARVEST_STAGES - {"connect"}:
-            assert telemetry.stage_seconds.labels(stage=stage).count == harvested
-        assert telemetry.stage_seconds.labels(stage="connect").count == len(db)
+            assert telemetry.stage_seconds.labels(stage=stage, shard="").count == harvested
+        assert telemetry.stage_seconds.labels(stage="connect", shard="").count == len(db)
 
     def test_replay_reconstructs_live_nodedb(self):
         # tentpole round-trip: the journal alone rebuilds the NodeDB the
@@ -154,8 +154,8 @@ class TestCrawlWithTelemetry:
     def test_prometheus_and_summary_render_the_run(self):
         _, events, telemetry, _ = self.crawl()
         text = render_prometheus(telemetry.registry)
-        assert 'nodefinder_dials_total{outcome="full-harvest",stage=""} 2' in text
-        assert 'nodefinder_dials_total{outcome="refused",stage="connect"} 1' in text
+        assert 'nodefinder_dials_total{outcome="full-harvest",stage="",shard=""} 2' in text
+        assert 'nodefinder_dials_total{outcome="refused",stage="connect",shard=""} 1' in text
         assert "nodefinder_dial_seconds_bucket" in text
         summary = summarize_journal(events)
         assert "full-harvest" in summary
