@@ -7,16 +7,23 @@ performance changes materially; successive snapshots are the perf
 trajectory.
 
     PYTHONPATH=src python benchmarks/bench_crawl.py [--out PATH]
+    PYTHONPATH=src python benchmarks/bench_crawl.py --check [--tolerance 0.25]
 
 Reported per scale (all per wall-clock second):
 
 * ``nodes_per_sec``   — distinct NodeDB entries harvested
 * ``dials_per_sec``   — dial attempts completed
 * ``events_per_sec``  — journal events written (dial + companion records)
+* ``phases``          — per-subsystem wall-time attribution from the
+  hot-path profiler (self seconds, calls, share of attributed time), so
+  the event-core rework optimizes measured hot paths, not guesses
 
-The workload itself is deterministic (seeded world, seeded crawler, fixed
-sim-day budget); only the wall-clock denominators vary by machine, so the
-ratios between snapshots on one machine are comparable.
+``--check`` re-runs the workload and compares against the committed
+snapshot instead of overwriting it: a >25% (``--tolerance``) drop in
+``nodes_per_sec`` at any scale exits nonzero.  The workload itself is
+deterministic (seeded world, seeded crawler, fixed sim-day budget); only
+the wall-clock denominators vary by machine, so the ratios between
+snapshots on one machine are comparable.
 """
 
 from __future__ import annotations
@@ -34,9 +41,13 @@ from repro.nodefinder.fleet import run_fleet
 from repro.nodefinder.scanner import NodeFinderConfig
 from repro.simnet.population import PopulationConfig
 from repro.simnet.world import SimWorld, WorldConfig
+from repro.telemetry.profiler import Profiler
 
 #: (label, world size, simulated crawl days)
 SCALES = (("1k", 1_000, 0.25), ("10k", 10_000, 0.25))
+
+#: regression gate for --check: fail on a >25% nodes/sec drop
+DEFAULT_TOLERANCE = 0.25
 
 
 def bench_scale(total_nodes: int, days: float) -> dict:
@@ -49,6 +60,7 @@ def bench_scale(total_nodes: int, days: float) -> dict:
         )
     )
     config = NodeFinderConfig(seed=1)
+    profiler = Profiler()  # wall clock by reference: real time attribution
     with tempfile.TemporaryDirectory() as telemetry_dir:
         started = time.perf_counter()
         fleet = run_fleet(
@@ -57,6 +69,7 @@ def bench_scale(total_nodes: int, days: float) -> dict:
             days=days,
             config=config,
             telemetry_dir=telemetry_dir,
+            profiler=profiler,
         )
         elapsed = time.perf_counter() - started
         events = sum(
@@ -69,6 +82,15 @@ def bench_scale(total_nodes: int, days: float) -> dict:
     dials = int(
         stats.total("dynamic_dial_attempts") + stats.total("static_dial_attempts")
     )
+    attributed = sum(stat.self_time for stat in profiler.stats.values()) or 1.0
+    phases = {
+        name: {
+            "calls": stat.calls,
+            "self_seconds": round(stat.self_time, 4),
+            "share": round(stat.self_time / attributed, 4),
+        }
+        for name, stat in sorted(profiler.stats.items())
+    }
     return {
         "world_nodes": total_nodes,
         "sim_days": days,
@@ -79,17 +101,11 @@ def bench_scale(total_nodes: int, days: float) -> dict:
         "nodes_per_sec": round(len(db) / elapsed, 1),
         "dials_per_sec": round(dials / elapsed, 1),
         "events_per_sec": round(events / elapsed, 1),
+        "phases": phases,
     }
 
 
-def main() -> int:
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument(
-        "--out",
-        default=str(Path(__file__).resolve().parent.parent / "BENCH_crawl.json"),
-        help="snapshot path (default: repo-root BENCH_crawl.json)",
-    )
-    args = parser.parse_args()
+def run_scales() -> dict:
     snapshot = {
         "benchmark": "simnet-crawl-throughput",
         "python": platform.python_version(),
@@ -100,7 +116,62 @@ def main() -> int:
         print(f"[bench] N={label}: crawling {days} sim-days ...", flush=True)
         snapshot["scales"][label] = bench_scale(total_nodes, days)
         print(f"[bench] N={label}: {snapshot['scales'][label]}", flush=True)
+    return snapshot
+
+
+def check_against(snapshot: dict, committed: dict, tolerance: float) -> int:
+    """Compare fresh nodes/sec against the committed pin; 0 = within band."""
+    failures = []
+    for label in committed.get("scales", {}):
+        pinned = committed["scales"][label].get("nodes_per_sec", 0.0)
+        fresh = snapshot["scales"].get(label, {}).get("nodes_per_sec", 0.0)
+        floor = pinned * (1.0 - tolerance)
+        verdict = "ok" if fresh >= floor else "REGRESSION"
+        print(
+            f"[check] N={label}: {fresh:.1f} nodes/sec vs pinned {pinned:.1f} "
+            f"(floor {floor:.1f}) -> {verdict}"
+        )
+        if fresh < floor:
+            failures.append(label)
+    if failures:
+        print(
+            f"[check] FAILED: >{tolerance:.0%} nodes/sec regression at "
+            f"{', '.join(failures)}",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"[check] within the {tolerance:.0%} tolerance band at every scale")
+    return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--out",
+        default=str(Path(__file__).resolve().parent.parent / "BENCH_crawl.json"),
+        help="snapshot path (default: repo-root BENCH_crawl.json)",
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="compare a fresh run against the committed snapshot instead of "
+        "overwriting it; exit 1 on a nodes/sec regression beyond --tolerance",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=DEFAULT_TOLERANCE,
+        help="allowed fractional nodes/sec drop for --check (default 0.25)",
+    )
+    args = parser.parse_args()
     out = Path(args.out)
+    if args.check:
+        if not out.exists():
+            print(f"[check] no committed snapshot at {out}", file=sys.stderr)
+            return 2
+        committed = json.loads(out.read_text(encoding="utf-8"))
+        return check_against(run_scales(), committed, args.tolerance)
+    snapshot = run_scales()
     out.write_text(json.dumps(snapshot, indent=2) + "\n", encoding="utf-8")
     print(f"[bench] wrote {out}")
     return 0

@@ -18,7 +18,13 @@ Commands:
   database dump (``--db``); both paths produce byte-identical reports
   for the same crawl;
 * ``crawl``     — run a live (optionally sharded, ``--shards N``) crawl
-  against real bootstrap enodes, journaling per shard.
+  against real bootstrap enodes, journaling per shard;
+* ``profile``   — run an instrumented simulated crawl and print the
+  per-subsystem hot-path attribution table (deterministic virtual clock
+  by default, so output is byte-stable per seed; ``--wall`` for real
+  wall-clock attribution);
+* ``top``       — one-page shard-health view of a metrics snapshot
+  (queue depths, loop lag, open breakers, journal backlog).
 """
 
 from __future__ import annotations
@@ -231,6 +237,11 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         adversary = AdversaryCampaign(
             AdversaryConfig(sybil_count=args.sybils, seed=args.seed ^ 0xEC)
         )
+    profiler = None
+    if args.profile:
+        from repro.telemetry import Profiler, TickClock
+
+        profiler = Profiler(clock=TickClock())
     fleet = run_fleet(
         world,
         instance_count=args.instances,
@@ -242,7 +253,13 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         ),
         telemetry_dir=args.telemetry_dir,
         adversary=adversary,
+        profiler=profiler,
     )
+    if profiler is not None:
+        from repro.telemetry import render_profile
+
+        print(render_profile(profiler))
+        print()
     if args.telemetry_dir:
         journals = " ".join(f"--journal {path}" for path in fleet.journal_paths)
         print(f"fleet telemetry: {fleet.metrics_path}; replay with "
@@ -284,6 +301,67 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
                   f"anomaly={'yes' if defense.anomaly_detected else 'no'}")
         else:
             print("defences: off (run with --defenses to harden)")
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    import tempfile
+    import time
+
+    from repro.nodefinder.fleet import run_fleet
+    from repro.nodefinder.scanner import NodeFinderConfig
+    from repro.simnet.population import PopulationConfig
+    from repro.simnet.world import SimWorld, WorldConfig
+    from repro.telemetry import Profiler, TickClock, render_profile
+
+    # the default virtual clock makes "duration" count instrumented
+    # operations — exactly reproducible per seed; --wall swaps in real
+    # time (by reference) for machine-local hot-path hunting
+    profiler = Profiler(
+        clock=time.perf_counter if args.wall else TickClock(),
+        sample_every=args.sample_every,
+    )
+    world = SimWorld(
+        WorldConfig(
+            population=PopulationConfig(
+                total_nodes=args.nodes, measurement_days=args.days, seed=args.seed
+            ),
+            seed=7,
+        )
+    )
+    config = NodeFinderConfig(
+        seed=1, discovery_interval=args.discovery_interval, shards=args.shards
+    )
+    # journal into a scratch dir so journal.append shows up in the table
+    with tempfile.TemporaryDirectory() as telemetry_dir:
+        fleet = run_fleet(
+            world,
+            instance_count=args.instances,
+            days=args.days,
+            config=config,
+            telemetry_dir=telemetry_dir,
+            profiler=profiler,
+        )
+    clock_kind = "wall" if args.wall else "virtual (1 tick = 1 instrumented op)"
+    print(
+        f"profiled {args.instances} instance(s) x {args.days} sim-day(s) over "
+        f"N={args.nodes} (seed {args.seed}, {args.shards} shard(s)); "
+        f"clock: {clock_kind}"
+    )
+    print(f"crawl products: {len(fleet.merged_db)} NodeDB entries")
+    print()
+    print(render_profile(profiler))
+    return 0
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.telemetry import render_top
+
+    with open(args.metrics, encoding="utf-8") as stream:
+        snapshot = json.load(stream)
+    print(render_top(snapshot))
     return 0
 
 
@@ -364,6 +442,9 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--defenses", action="store_true",
                           help="harden the crawlers (table admission, subnet "
                                "breakers, dial budget)")
+    simulate.add_argument("--profile", action="store_true",
+                          help="attribute the run per subsystem (deterministic "
+                               "virtual clock) and print the profile table")
     simulate.set_defaults(func=_cmd_simulate)
 
     casestudy = commands.add_parser("casestudy", help="reproduce the §3 case study")
@@ -422,6 +503,32 @@ def build_parser() -> argparse.ArgumentParser:
     crawl.add_argument("--db", metavar="PATH",
                        help="dump the node database here when done")
     crawl.set_defaults(func=_cmd_crawl)
+
+    profile = commands.add_parser(
+        "profile", help="hot-path attribution of a simulated crawl"
+    )
+    profile.add_argument("--nodes", type=int, default=300)
+    profile.add_argument("--days", type=float, default=1.0)
+    profile.add_argument("--seed", type=int, default=2018)
+    profile.add_argument("--instances", type=int, default=1)
+    profile.add_argument("--discovery-interval", type=float, default=60.0)
+    profile.add_argument("--shards", type=int, default=1,
+                         help="worker shards partitioning the enode keyspace")
+    profile.add_argument("--wall", action="store_true",
+                         help="time with the real wall clock instead of the "
+                              "deterministic virtual clock")
+    profile.add_argument("--sample-every", type=int, default=1,
+                         help="time 1 in N scope entries (all entries are "
+                              "still counted)")
+    profile.set_defaults(func=_cmd_profile)
+
+    top = commands.add_parser(
+        "top", help="one-page shard-health view of a metrics snapshot"
+    )
+    top.add_argument("--metrics", metavar="PATH", required=True,
+                     help="metrics-registry snapshot (JSON), e.g. the "
+                          "metrics.json a fleet run exports")
+    top.set_defaults(func=_cmd_top)
     return parser
 
 

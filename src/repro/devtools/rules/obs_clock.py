@@ -8,6 +8,13 @@ every timestamp flows through the single clock injected into
 reproducible and journal timestamps stop lining up with span durations.
 Referencing ``time.monotonic`` *uncalled* as a default clock is the
 sanctioned idiom and does not fire — only the call does.
+
+The profiler and flight recorder live under the same scope and the same
+discipline: ``Profiler`` defaults to ``time.perf_counter`` *by
+reference* (and its deterministic mode injects a ``TickClock``), and
+``FlightRecorder`` stamps dumps from its injected clock — a direct
+``time.perf_counter()`` / ``time.thread_time()`` call in either would
+silently break the byte-stable profile golden.
 """
 
 from __future__ import annotations
@@ -30,6 +37,8 @@ _WALL_CLOCKS = {
     "time.perf_counter_ns",
     "time.process_time",
     "time.process_time_ns",
+    "time.thread_time",
+    "time.thread_time_ns",
 }
 
 _DATETIME_BANNED = {

@@ -21,6 +21,8 @@ from repro.nodefinder.scanner import NodeFinderConfig, NodeFinderInstance
 from repro.simnet.adversary import AdversaryCampaign
 from repro.simnet.world import SimWorld
 from repro.telemetry import NULL_TELEMETRY, EventJournal, Telemetry, merge_snapshots
+from repro.telemetry.flightrecorder import FlightRecorder
+from repro.telemetry.profiler import Profiler
 
 
 @dataclass
@@ -70,6 +72,8 @@ def run_fleet(
     watch_bootstrap: bool = False,
     telemetry_dir: str | Path | None = None,
     adversary: AdversaryCampaign | None = None,
+    profiler: Profiler | None = None,
+    recorder: FlightRecorder | None = None,
 ) -> Fleet:
     """Start ``instance_count`` crawlers and run the world for ``days``.
 
@@ -88,6 +92,12 @@ def run_fleet(
     boots, the worst case of the eclipse literature.  Instance identities
     draw from the builder RNG and start() from the world RNG, so the
     two-phase ordering leaves an adversary-free run bit-identical.
+
+    With ``profiler`` every instance's telemetry shares one hot-path
+    profiler and the world clock runs its labelled callbacks under
+    profiler scopes; with ``recorder`` every instance tees its journal
+    events and spans into one crash flight recorder.  Neither changes
+    the crawl itself.
     """
     export_dir = Path(telemetry_dir) if telemetry_dir is not None else None
     if export_dir is not None:
@@ -98,6 +108,8 @@ def run_fleet(
     instances = []
     journals: list[EventJournal] = []
     journal_paths: list[Path] = []
+    if profiler is not None:
+        world.clock.profiler = profiler
     for index in range(instance_count):
         name = f"nodefinder-{index}"
         telemetry = NULL_TELEMETRY
@@ -107,7 +119,9 @@ def run_fleet(
                 # one journal per shard (<name>-shard<k>.jsonl); the
                 # instance telemetry keeps the shared metrics registry
                 # while each shard journals its own dial stream
-                telemetry = Telemetry(clock=clock)
+                telemetry = Telemetry(
+                    clock=clock, profiler=profiler, recorder=recorder
+                )
                 shard_journals = []
                 for shard_index in range(shard_count):
                     path = export_dir / f"{name}-shard{shard_index}.jsonl"
@@ -120,7 +134,18 @@ def run_fleet(
                 journal = EventJournal.open(path)
                 journals.append(journal)
                 journal_paths.append(path)
-                telemetry = Telemetry(journal=journal, clock=clock)
+                telemetry = Telemetry(
+                    journal=journal,
+                    clock=clock,
+                    profiler=profiler,
+                    recorder=recorder,
+                )
+        elif profiler is not None or recorder is not None:
+            # profiled/recorded but journal-less runs still need a real
+            # facade (NULL_TELEMETRY would drop both)
+            telemetry = Telemetry(
+                clock=clock, profiler=profiler, recorder=recorder
+            )
         instance = NodeFinderInstance(
             world,
             config=config or NodeFinderConfig(seed=index),

@@ -134,6 +134,8 @@ class LiveNodeFinder:
                         journal=shard_journals[index],
                         clock=self.clock,
                         shard=str(index),
+                        profiler=self.telemetry.profiler,
+                        recorder=self.telemetry.recorder,
                     )
                 else:
                     shard_telemetry = self.telemetry
@@ -292,7 +294,7 @@ class LiveNodeFinder:
                     if isinstance(outcome, asyncio.CancelledError):
                         raise outcome
                     if isinstance(outcome, BaseException):
-                        self.telemetry.record_dial_crash()
+                        self.telemetry.record_dial_crash(repr(outcome))
                         logger.warning(
                             "dynamic dial of %s crashed: %r",
                             node.short_id(),
@@ -326,12 +328,14 @@ class LiveNodeFinder:
                 except asyncio.CancelledError:
                     raise
                 except Exception as exc:
-                    self.telemetry.record_dial_crash()
+                    self.telemetry.record_dial_crash(repr(exc))
                     logger.warning(
                         "static dial of %s crashed: %r", enode.short_id(), exc
                     )
+                self._refresh_health(self.telemetry, self.breakers, now)
                 continue
             self._prune_stale()
+            self._refresh_health(self.telemetry, self.breakers, now)
             await asyncio.sleep(
                 min(1.0, self.config.static_dial_interval / 10)
             )
@@ -386,7 +390,7 @@ class LiveNodeFinder:
                     if isinstance(outcome, asyncio.CancelledError):
                         raise outcome
                     if isinstance(outcome, BaseException):
-                        shard.telemetry.record_dial_crash()
+                        shard.telemetry.record_dial_crash(repr(outcome))
                         logger.warning(
                             "shard %d %s of %s crashed: %r",
                             shard.index,
@@ -395,6 +399,39 @@ class LiveNodeFinder:
                             outcome,
                         )
             self._prune_shard(shard)
+            self._refresh_health(
+                shard.telemetry,
+                shard.breakers,
+                now,
+                shard.queue.qsize(),
+                shard=str(shard.index),
+            )
+
+    def _refresh_health(
+        self,
+        telemetry: Telemetry,
+        breakers: PeerScoreboard,
+        pass_started: float,
+        queue_depth: Optional[int] = None,
+        shard: Optional[str] = None,
+    ) -> None:
+        """One loop pass done: publish how this worker is keeping up.
+
+        Lag is the pass's wall duration — how far the loop trails the
+        clock it schedules against; a healthy worker stays near its poll
+        interval, a drowning one grows with its dial backlog.  The shard
+        label is explicit: a shard loop sharing the crawl-wide telemetry
+        (no per-shard journals) still owns its health row.
+        """
+        telemetry.record_shard_health(
+            queue_depth=queue_depth,
+            lag=self.clock() - pass_started,
+            open_breakers=breakers.open_count,
+            journal_backlog=(
+                telemetry.journal.backlog if telemetry.journal is not None else None
+            ),
+            shard=shard,
+        )
 
     def _known_static(self, node_id: bytes) -> bool:
         """Is this node already on a StaticNodes schedule (any shard)?"""

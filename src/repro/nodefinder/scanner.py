@@ -147,12 +147,16 @@ class NodeFinderInstance:
             # metrics registry, so counters aggregate exactly as unsharded;
             # the shard label keeps each worker's series separable
             clock = lambda: world.now  # noqa: E731 - the world timeline
+            # the profiler and flight recorder are crawl-wide: shard facades
+            # share them so attribution and crash rings stay in one place
             self._shard_telemetry = [
                 Telemetry(
                     registry=telemetry.registry,
                     journal=journal,
                     clock=clock,
                     shard=str(index),
+                    profiler=telemetry.profiler,
+                    recorder=telemetry.recorder,
                 )
                 for index, journal in enumerate(shard_journals)
             ]
@@ -222,9 +226,16 @@ class NodeFinderInstance:
             self.config.discovery_interval,
             self._discovery_tick,
             jitter=lambda: self.rng.uniform(0, 2.0),
+            label="scanner.discovery_tick",
         )
-        clock.schedule_every(self.config.static_dial_interval, self._static_tick)
-        clock.schedule_every(SECONDS_PER_HOUR, self._prune_stale)
+        clock.schedule_every(
+            self.config.static_dial_interval,
+            self._static_tick,
+            label="scanner.static_tick",
+        )
+        clock.schedule_every(
+            SECONDS_PER_HOUR, self._prune_stale, label="scanner.prune_stale"
+        )
 
     @property
     def day(self) -> int:
@@ -242,7 +253,8 @@ class NodeFinderInstance:
         answered) round after round.
         """
         target = self.rng.randbytes(64)
-        results = self._lookup(target)
+        with self.telemetry.profiler.scope("scanner.lookup"):
+            results = self._lookup(target)
         self.writer.record_discovery(self.day)
         now = self.world.now
         horizon = now - self.config.dial_history_expiration
@@ -280,6 +292,18 @@ class NodeFinderInstance:
         for shard_index, batch in enumerate(batches):
             for address in batch:
                 self._dial(address, "dynamic-dial", shard_index)
+        self._refresh_shard_health()
+
+    def _refresh_shard_health(self) -> None:
+        """Push the per-shard health gauges (journal backlog) once a tick."""
+        for shard_telemetry in self._shard_telemetry:
+            journal = shard_telemetry.journal
+            if journal is not None:
+                shard_telemetry.record_shard_health(journal_backlog=journal.backlog)
+        if self.scoreboard is not None:
+            self.telemetry.record_shard_health(
+                open_breakers=self.scoreboard.open_count
+            )
 
     def _lookup(self, target: bytes) -> list[NodeAddress]:
         """Iterative FIND_NODE toward ``target`` (paper §2.1 semantics).
@@ -361,7 +385,8 @@ class NodeFinderInstance:
     ) -> Optional[DialResult]:
         if not self._breaker_allows(address.node_id, address.ip):
             return None
-        result = self.world.dial(address, connection_type, self.location)
+        with self.telemetry.profiler.scope("scanner.dial"):
+            result = self.world.dial(address, connection_type, self.location)
         self._record(result, shard_index)
         self._score_dial(address, result)
         if result.outcome is not DialOutcome.TIMEOUT:
@@ -404,7 +429,8 @@ class NodeFinderInstance:
             )
             if not self._breaker_allows(node_id, address.ip):
                 continue
-            result = self.world.dial(address, "static-dial", self.location)
+            with self.telemetry.profiler.scope("scanner.dial"):
+                result = self.world.dial(address, "static-dial", self.location)
             self._record(result, shard_index)
             self._score_dial(address, result)
 

@@ -35,6 +35,7 @@ import logging
 from typing import TYPE_CHECKING, Optional
 
 from repro.simnet.clock import SECONDS_PER_DAY
+from repro.telemetry.profiler import NULL_PROFILER
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.nodefinder.database import NodeDB, NodeEntry
@@ -106,15 +107,19 @@ class NodeDBWriter:
         return self._queue is not None
 
     def _fold(self, result: "DialResult") -> "NodeEntry":
-        if self.stats is not None:
-            self.stats.record_dial(
-                int(result.timestamp // SECONDS_PER_DAY), result
-            )
-        entry = self.db.observe(result)
-        self.folds += 1
-        if self.telemetry is not None:
-            self.telemetry.writer_folds.inc()
-        return entry
+        profiler = (
+            self.telemetry.profiler if self.telemetry is not None else NULL_PROFILER
+        )
+        with profiler.scope("writer.fold"):
+            if self.stats is not None:
+                self.stats.record_dial(
+                    int(result.timestamp // SECONDS_PER_DAY), result
+                )
+            entry = self.db.observe(result)
+            self.folds += 1
+            if self.telemetry is not None:
+                self.telemetry.writer_folds.inc()
+            return entry
 
     def submit(self, result: "DialResult") -> "NodeEntry":
         """Fold one result synchronously (direct mode only)."""

@@ -3,18 +3,31 @@
 A single ordered event queue drives the whole world: NodeFinder instances,
 chain growth, churn ticks, and release-calendar events all schedule
 callbacks here.  Time is float seconds since the simulation epoch.
+
+Callbacks may carry a ``label`` naming the subsystem they belong to
+(``"world.grow_chain"``, ``"scanner.discovery_tick"``, ...).  When a
+:class:`~repro.telemetry.profiler.Profiler` is attached to ``profiler``,
+:meth:`step` runs each labelled callback inside a profiler scope, which
+is how a whole simulation's event core gets attributed per subsystem.
+Unprofiled runs take the ``profiler is None`` branch and pay nothing.
 """
 
 from __future__ import annotations
 
 import heapq
 import itertools
-from typing import Callable, Optional
+from typing import TYPE_CHECKING, Callable, Optional
 
 from repro.errors import SimulationError
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.telemetry.profiler import Profiler
+
 SECONDS_PER_HOUR = 3600.0
 SECONDS_PER_DAY = 86400.0
+
+#: profile scope for callbacks scheduled without a label
+UNLABELLED = "clock.unlabelled"
 
 
 class SimClock:
@@ -22,21 +35,33 @@ class SimClock:
 
     def __init__(self, start: float = 0.0) -> None:
         self.now = start
-        self._queue: list[tuple[float, int, Callable[[], None]]] = []
+        self._queue: list[tuple[float, int, Callable[[], None], Optional[str]]] = []
         self._sequence = itertools.count()
         self._processed = 0
+        #: attach a Profiler to attribute event time per callback label
+        self.profiler: Optional["Profiler"] = None
 
-    def schedule(self, delay: float, callback: Callable[[], None]) -> None:
+    def schedule(
+        self,
+        delay: float,
+        callback: Callable[[], None],
+        label: Optional[str] = None,
+    ) -> None:
         """Run ``callback`` ``delay`` seconds from now."""
         if delay < 0:
             raise SimulationError(f"cannot schedule {delay}s in the past")
         heapq.heappush(
-            self._queue, (self.now + delay, next(self._sequence), callback)
+            self._queue, (self.now + delay, next(self._sequence), callback, label)
         )
 
-    def schedule_at(self, when: float, callback: Callable[[], None]) -> None:
+    def schedule_at(
+        self,
+        when: float,
+        callback: Callable[[], None],
+        label: Optional[str] = None,
+    ) -> None:
         """Run ``callback`` at absolute time ``when``."""
-        self.schedule(when - self.now, callback)
+        self.schedule(when - self.now, callback, label)
 
     def schedule_every(
         self,
@@ -44,6 +69,7 @@ class SimClock:
         callback: Callable[[], None],
         until: Optional[float] = None,
         jitter: Callable[[], float] | None = None,
+        label: Optional[str] = None,
     ) -> None:
         """Run ``callback`` every ``interval`` seconds (optionally jittered)."""
         if interval <= 0:
@@ -54,9 +80,9 @@ class SimClock:
                 return
             callback()
             delay = interval + (jitter() if jitter else 0.0)
-            self.schedule(max(delay, 0.0), tick)
+            self.schedule(max(delay, 0.0), tick, label)
 
-        self.schedule(interval, tick)
+        self.schedule(interval, tick, label)
 
     @property
     def pending(self) -> int:
@@ -70,9 +96,13 @@ class SimClock:
         """Run the next event; False when the queue is empty."""
         if not self._queue:
             return False
-        when, _, callback = heapq.heappop(self._queue)
+        when, _, callback, label = heapq.heappop(self._queue)
         self.now = max(self.now, when)
-        callback()
+        if self.profiler is None:
+            callback()
+        else:
+            with self.profiler.scope(label or UNLABELLED):
+                callback()
         self._processed += 1
         return True
 

@@ -201,13 +201,15 @@ class SimWorld:
         def grow_chain() -> None:
             self.mainnet.advance(int(SECONDS_PER_HOUR * BLOCKS_PER_SECOND))
 
-        self.clock.schedule_every(SECONDS_PER_HOUR, grow_chain)
+        self.clock.schedule_every(SECONDS_PER_HOUR, grow_chain, label="world.grow_chain")
         refresh_interval = self.config.neighbor_refresh_hours * SECONDS_PER_HOUR
 
         def refresh_neighbors() -> None:
             self._assign_neighbors(initial=False)
 
-        self.clock.schedule_every(refresh_interval, refresh_neighbors)
+        self.clock.schedule_every(
+            refresh_interval, refresh_neighbors, label="world.refresh_neighbors"
+        )
 
     def _assign_neighbors(self, initial: bool) -> None:
         """(Re)build neighbour tables.
@@ -396,7 +398,7 @@ class SimWorld:
                     )
                     if result.outcome is not DialOutcome.TIMEOUT:
                         listener.handle_incoming(result)
-        self.clock.schedule_every(interval, deliver)
+        self.clock.schedule_every(interval, deliver, label="world.deliver_incoming")
         if len(self.listeners) == 1:
             self._schedule_factory_deliveries(interval)
 
@@ -464,7 +466,9 @@ class SimWorld:
                         factory.dial_result(self.now, self.mainnet)
                     )
 
-        self.clock.schedule_every(interval, deliver_abusive)
+        self.clock.schedule_every(
+            interval, deliver_abusive, label="world.deliver_abusive"
+        )
 
     def _poisson(self, rate: float) -> int:
         # Knuth's method is fine for small rates; cap for safety

@@ -19,13 +19,21 @@ and zero ambient state:
   summary behind ``repro telemetry``;
 * :class:`Telemetry` — the facade instrumented code receives, bundling
   registry + journal + the one injected clock (``NULL_TELEMETRY`` is the
-  shared do-nothing default).
+  shared do-nothing default);
+* :class:`Profiler` / :func:`render_profile` — hot-path self-time
+  attribution via scoped timers (:class:`TickClock` for deterministic,
+  byte-stable tables; ``NULL_PROFILER`` is the free default);
+* :class:`FlightRecorder` — per-shard ring buffers of recent events and
+  open spans, crash-dumped to ``flightrecord.json``;
+* :func:`render_top` — the one-page shard-health view.
 
 Everything here reads time only through the injected clock; the
 OBS-CLOCK reprolint family fails the build on a direct wall-clock call.
 """
 
 from repro.telemetry.exposition import render_prometheus
+from repro.telemetry.flightrecorder import FlightRecorder, read_flightrecord
+from repro.telemetry.health import render_top
 from repro.telemetry.hub import NULL_TELEMETRY, Telemetry
 from repro.telemetry.journal import (
     SCHEMA_VERSION,
@@ -45,6 +53,13 @@ from repro.telemetry.metrics import (
     NullRegistry,
     quantile_from_buckets,
 )
+from repro.telemetry.profiler import (
+    NULL_PROFILER,
+    NullProfiler,
+    Profiler,
+    TickClock,
+    render_profile,
+)
 from repro.telemetry.spans import Span
 from repro.telemetry.summary import summarize_journal, summarize_snapshot
 
@@ -53,20 +68,28 @@ __all__ = [
     "DEFAULT_BUCKETS",
     "Event",
     "EventJournal",
+    "FlightRecorder",
     "Gauge",
     "Histogram",
     "JournalError",
     "MetricError",
     "MetricsRegistry",
+    "NULL_PROFILER",
     "NULL_TELEMETRY",
+    "NullProfiler",
     "NullRegistry",
+    "Profiler",
     "SCHEMA_VERSION",
     "Span",
     "Telemetry",
+    "TickClock",
     "merge_snapshots",
     "quantile_from_buckets",
     "read_events",
+    "read_flightrecord",
+    "render_profile",
     "render_prometheus",
+    "render_top",
     "summarize_journal",
     "summarize_snapshot",
 ]

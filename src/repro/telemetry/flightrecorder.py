@@ -1,0 +1,144 @@
+"""Crash forensics without replaying a whole journal.
+
+PR 7's adversarial campaigns produce failures whose post-mortems today
+mean re-reading the full measurement journal.  The flight recorder keeps
+the forensics *hot*: a bounded ring buffer of the last K journal events
+and the still-open spans per shard, dumped as one ``flightrecord.json``
+the moment something goes wrong — a supervisor-detected loop crash, a
+circuit breaker tripping to OPEN, or an unhandled dial-loop exception.
+The dump is the black box: what the crawler was doing in the seconds
+before the failure, per shard, without any replay.
+
+Triggers live in :class:`~repro.telemetry.hub.Telemetry` (the
+``record_loop_crash`` / ``record_breaker`` / ``record_dial_crash``
+fan-out points), so both the simnet scanner and the live crawler feed
+the same recorder through the hook plumbing they already have.
+
+The recorder never reads a wall clock directly (OBS-CLOCK): the clock
+arrives by reference, and dumps are written atomically (temp file +
+``os.replace``) so a dump raced by a second crash never leaves a torn
+JSON on disk.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from collections import deque
+from pathlib import Path
+from typing import Callable, Deque, Dict, List, Optional, Union
+
+from repro.telemetry.journal import Event
+from repro.telemetry.spans import Span
+
+#: default ring size: enough to cover a full discovery tick's dial burst
+DEFAULT_CAPACITY = 256
+
+
+def _span_record(span: Span, now: float) -> dict:
+    """One open span as a JSON-able record (children inline)."""
+    return {
+        "name": span.name,
+        "started": span.start,
+        "age": now - span.start,
+        "stages": [
+            {
+                "name": child.name,
+                "started": child.start,
+                "duration": child.duration,
+            }
+            for child in span.children
+        ],
+    }
+
+
+class FlightRecorder:
+    """Per-shard ring buffers of recent events + open spans, crash-dumped.
+
+    One recorder serves a whole crawl: every shard's
+    :class:`~repro.telemetry.hub.Telemetry` facade tees events and spans
+    in under its own shard label, and any shard's trigger dumps the state
+    of *all* shards — an eclipse campaign that trips one shard's breakers
+    usually has fingerprints in its neighbours' rings too.
+    """
+
+    def __init__(
+        self,
+        path: Union[str, Path],
+        capacity: int = DEFAULT_CAPACITY,
+        clock: Optional[Callable[[], float]] = None,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.path = Path(path)
+        self.capacity = capacity
+        self.clock = clock if clock is not None else time.monotonic
+        self._events: Dict[str, Deque[Event]] = {}
+        self._spans: Dict[str, List[Span]] = {}
+        self.dumps = 0
+
+    # -- feed ----------------------------------------------------------------
+
+    def record_event(self, event: Event, shard: str = "") -> None:
+        """Ring-buffer one journal event under its shard."""
+        ring = self._events.get(shard)
+        if ring is None:
+            ring = self._events[shard] = deque(maxlen=self.capacity)
+        ring.append(event)
+
+    def track_span(self, span: Span, shard: str = "") -> None:
+        """Watch a span until it finishes; finished spans are pruned lazily."""
+        spans = self._spans.get(shard)
+        if spans is None:
+            spans = self._spans[shard] = []
+        if len(spans) >= self.capacity:
+            live = [tracked for tracked in spans if not tracked.finished]
+            del spans[:]
+            spans.extend(live[-(self.capacity - 1):])
+        spans.append(span)
+
+    def open_spans(self, shard: str = "") -> List[Span]:
+        return [span for span in self._spans.get(shard, ()) if not span.finished]
+
+    # -- dump ----------------------------------------------------------------
+
+    def dump(self, reason: str, detail: str = "") -> Path:
+        """Write the black box to ``self.path`` atomically; returns it.
+
+        Repeated triggers overwrite: the newest failure wins, and the
+        ``dump_count`` field says how many came before it.
+        """
+        self.dumps += 1
+        now = self.clock()
+        shards = {}
+        for shard in sorted(set(self._events) | set(self._spans)):
+            shards[shard] = {
+                "events": [
+                    json.loads(event.to_json())
+                    for event in self._events.get(shard, ())
+                ],
+                "open_spans": [
+                    _span_record(span, now) for span in self.open_spans(shard)
+                ],
+            }
+        record = {
+            "flightrecord": 1,
+            "reason": reason,
+            "detail": detail,
+            "ts": now,
+            "dump_count": self.dumps,
+            "capacity": self.capacity,
+            "shards": shards,
+        }
+        tmp = self.path.with_name(self.path.name + ".tmp")
+        tmp.write_text(
+            json.dumps(record, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+        )
+        os.replace(tmp, self.path)
+        return self.path
+
+
+def read_flightrecord(path: Union[str, Path]) -> dict:
+    """Load a dump back (the test/forensics half of the round trip)."""
+    return json.loads(Path(path).read_text(encoding="utf-8"))

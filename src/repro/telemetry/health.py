@@ -1,0 +1,124 @@
+"""``nodefinder top``: one page of crawl health off a metrics snapshot.
+
+The per-shard gauges the dial workers publish (queue depth, loop lag,
+open breakers, journal backlog — see ``Telemetry.record_shard_health``)
+plus the funnel/loop counters, folded into a single text page: which
+shard is drowning, which breakers are popping, whether the writer queue
+is keeping up.  Input is the same ``metrics.json`` snapshot shape the
+``telemetry``/``analyze`` commands already consume (or a live
+``MetricsRegistry.snapshot()``), so the renderer works on a finished sim
+run and on a live crawl's export alike.  Output is byte-stable for a
+given snapshot: rows sort by shard key, all numbers format fixed.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional
+
+#: rendered for the unsharded ("" label) worker row
+WHOLE_CRAWL = "-"
+
+
+def _families(snapshot: dict) -> Dict[str, dict]:
+    return {metric["name"]: metric for metric in snapshot.get("metrics", [])}
+
+
+def _per_shard(family: Optional[dict]) -> Dict[str, float]:
+    """Shard label → summed value across the family's other labels."""
+    totals: Dict[str, float] = {}
+    if family is None:
+        return totals
+    for series in family["series"]:
+        shard = series["labels"].get("shard", "")
+        totals[shard] = totals.get(shard, 0.0) + float(series.get("value", 0.0))
+    return totals
+
+
+def _scalar(family: Optional[dict]) -> float:
+    return sum(
+        float(series.get("value", 0.0))
+        for series in (family["series"] if family is not None else ())
+    )
+
+
+def _by_label(family: Optional[dict], label: str) -> Dict[str, float]:
+    totals: Dict[str, float] = {}
+    if family is None:
+        return totals
+    for series in family["series"]:
+        key = series["labels"].get(label, "")
+        totals[key] = totals.get(key, 0.0) + float(series.get("value", 0.0))
+    return totals
+
+
+def _shard_sort_key(shard: str):
+    return (0, int(shard), shard) if shard.isdigit() else (1, 0, shard)
+
+
+def _counts_line(title: str, counts: Dict[str, float]) -> str:
+    if not counts:
+        return f"{title}: none"
+    parts = ", ".join(
+        f"{key or WHOLE_CRAWL}={int(value)}"
+        for key, value in sorted(counts.items())
+        if value
+    )
+    return f"{title}: {parts}" if parts else f"{title}: none"
+
+
+def render_top(snapshot: dict) -> str:
+    """The one-page health view of a crawl's metrics snapshot."""
+    from repro.analysis.render import format_table
+
+    families = _families(snapshot)
+    dials = _per_shard(families.get("nodefinder_dials_total"))
+    queue = _per_shard(families.get("crawler_shard_queue_depth"))
+    lag = _per_shard(families.get("crawler_shard_loop_lag_seconds"))
+    open_breakers = _per_shard(families.get("crawler_shard_open_breakers"))
+    backlog = _per_shard(families.get("crawler_journal_backlog"))
+    shards = sorted(
+        set(dials) | set(queue) | set(lag) | set(open_breakers) | set(backlog),
+        key=_shard_sort_key,
+    )
+    rows = [
+        [
+            shard or WHOLE_CRAWL,
+            int(dials.get(shard, 0)),
+            int(queue.get(shard, 0)),
+            f"{lag.get(shard, 0.0):.3f}",
+            int(open_breakers.get(shard, 0)),
+            int(backlog.get(shard, 0)),
+        ]
+        for shard in shards
+    ]
+    if not rows:
+        rows = [[WHOLE_CRAWL, 0, 0, "0.000", 0, 0]]
+    lines = [
+        format_table(
+            "Shard health",
+            ["shard", "dials", "queue", "lag(s)", "open-brk", "backlog"],
+            rows,
+        ),
+        "",
+        "writer: queue depth "
+        f"{int(_scalar(families.get('crawler_writer_queue_depth')))}, "
+        f"folds {int(_scalar(families.get('crawler_writer_folds_total')))}",
+        "loops: "
+        f"crashes {int(_scalar(families.get('crawler_loop_crashes_total')))}, "
+        f"restarts {int(_scalar(families.get('crawler_loop_restarts_total')))}, "
+        f"deaths {int(_scalar(families.get('crawler_loop_deaths_total')))}",
+        _counts_line(
+            "breaker transitions",
+            _by_label(families.get("nodefinder_breaker_transitions_total"), "to"),
+        ),
+        _counts_line(
+            "dial outcomes",
+            _by_label(families.get("nodefinder_dials_total"), "outcome"),
+        ),
+    ]
+    return "\n".join(lines)
+
+
+def render_top_lines(snapshot: dict) -> Iterable[str]:
+    """Line iterator over :func:`render_top` (stream-friendly callers)."""
+    return render_top(snapshot).splitlines()

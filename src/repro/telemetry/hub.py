@@ -21,11 +21,13 @@ from typing import TYPE_CHECKING, Callable, Optional
 
 from repro.telemetry.journal import Event, EventJournal
 from repro.telemetry.metrics import MetricsRegistry, NullRegistry
+from repro.telemetry.profiler import NULL_PROFILER, Profiler
 from repro.telemetry.spans import Span
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.resilience.breaker import BreakerState
     from repro.simnet.node import DialResult
+    from repro.telemetry.flightrecorder import FlightRecorder
 
 
 def _hex(node_id: Optional[bytes]) -> Optional[str]:
@@ -41,12 +43,22 @@ class Telemetry:
         journal: Optional[EventJournal] = None,
         clock: Optional[Callable[[], float]] = None,
         shard: str = "",
+        profiler: Optional[Profiler] = None,
+        recorder: Optional["FlightRecorder"] = None,
     ) -> None:
         self.clock = clock if clock is not None else time.monotonic
         self.registry = (
             registry if registry is not None else MetricsRegistry(clock=self.clock)
         )
         self.journal = journal
+        #: hot-path attribution sink; the shared no-op by default, so
+        #: ``with telemetry.profiler.scope(...)`` costs next to nothing
+        #: on unprofiled runs
+        self.profiler = profiler if profiler is not None else NULL_PROFILER
+        #: crash flight recorder; when attached, every journaled event
+        #: and started span tees into its per-shard ring buffers, and the
+        #: crash-shaped record_* methods below trigger a dump
+        self.recorder = recorder
         #: which crawl shard this facade instruments ("" = unsharded/whole
         #: crawler).  Every family a shard worker emits carries it as a
         #: label, so per-shard dashboards work off one shared registry;
@@ -141,6 +153,22 @@ class Telemetry:
             "crawler_loop_deaths_total",
             "crawler loops that died for good (restart budget spent)",
         )
+        # -- live shard health ----------------------------------------------
+        self.shard_loop_lag = registry_.gauge(
+            "crawler_shard_loop_lag_seconds",
+            "how far each shard's dial loop trails the world clock",
+            ("shard",),
+        )
+        self.shard_open_breakers = registry_.gauge(
+            "crawler_shard_open_breakers",
+            "peer breakers currently OPEN as seen by each shard",
+            ("shard",),
+        )
+        self.journal_backlog = registry_.gauge(
+            "crawler_journal_backlog",
+            "journal events written since the last flush, per shard",
+            ("shard",),
+        )
         # -- discovery ------------------------------------------------------
         self.discovery_datagrams = registry_.counter(
             "discovery_datagrams_total", "raw UDP datagrams", ("direction",)
@@ -177,14 +205,22 @@ class Telemetry:
     # -- primitives ---------------------------------------------------------
 
     def start_span(self, name: str) -> Span:
-        return Span(name, self.clock)
+        span = Span(name, self.clock)
+        if self.recorder is not None:
+            self.recorder.track_span(span, self.shard)
+        return span
 
     def emit(self, event_type: str, **fields) -> None:
-        """Journal one event (no-op without an attached journal)."""
-        if self.journal is None:
+        """Journal one event (no-op without a journal or flight recorder)."""
+        if self.journal is None and self.recorder is None:
             return
         clean = {key: value for key, value in fields.items() if value is not None}
-        self.journal.emit(Event(type=event_type, ts=self.clock(), fields=clean))
+        event = Event(type=event_type, ts=self.clock(), fields=clean)
+        if self.journal is not None:
+            with self.profiler.scope("journal.append"):
+                self.journal.emit(event)
+        if self.recorder is not None:
+            self.recorder.record_event(event, self.shard)
 
     # -- harvest ------------------------------------------------------------
 
@@ -206,7 +242,7 @@ class Telemetry:
                 self.stage_seconds.labels(stage=stage, shard=self.shard).observe(
                     duration
                 )
-        if self.journal is None:
+        if self.journal is None and self.recorder is None:
             return
         node_id = _hex(result.node_id)
         self.emit(
@@ -276,6 +312,8 @@ class Telemetry:
         self.emit(
             "breaker", node_id=_hex(node_id), old=old.value, new=new.value
         )
+        if self.recorder is not None and new.value == "open":
+            self.recorder.dump("breaker-open", detail=_hex(node_id) or "")
 
     def record_subnet_breaker(
         self, subnet: str, old: "BreakerState", new: "BreakerState"
@@ -285,14 +323,18 @@ class Telemetry:
         self.emit(
             "breaker", scope="subnet", subnet=subnet, old=old.value, new=new.value
         )
+        if self.recorder is not None and new.value == "open":
+            self.recorder.dump("subnet-breaker-open", detail=subnet)
 
     # -- crawler scheduler ---------------------------------------------------
 
     def record_scheduled_dial(self, connection_type: str) -> None:
         self.scheduled_dials.labels(type=connection_type, shard=self.shard).inc()
 
-    def record_dial_crash(self) -> None:
+    def record_dial_crash(self, error: str = "") -> None:
         self.dial_failures.labels(shard=self.shard).inc()
+        if self.recorder is not None:
+            self.recorder.dump("dial-crash", detail=error)
 
     def record_breaker_skip(self) -> None:
         self.breaker_skips.labels(shard=self.shard).inc()
@@ -330,6 +372,8 @@ class Telemetry:
     def record_loop_crash(self, loop: str, error: str) -> None:
         self.loop_crashes.inc()
         self.emit("supervisor", loop=loop, event="crash", error=error)
+        if self.recorder is not None:
+            self.recorder.dump("loop-crash", detail=f"{loop}: {error}")
 
     def record_loop_restart(self, loop: str) -> None:
         self.loop_restarts.inc()
@@ -338,6 +382,31 @@ class Telemetry:
     def record_loop_death(self, loop: str, error: str) -> None:
         self.loop_deaths.inc()
         self.emit("supervisor", loop=loop, event="death", error=error)
+        if self.recorder is not None:
+            self.recorder.dump("loop-death", detail=f"{loop}: {error}")
+
+    def record_shard_health(
+        self,
+        queue_depth: Optional[int] = None,
+        lag: Optional[float] = None,
+        open_breakers: Optional[int] = None,
+        journal_backlog: Optional[int] = None,
+        shard: Optional[str] = None,
+    ) -> None:
+        """Refresh this shard's health gauges (pass only what you know).
+
+        ``shard`` overrides the facade's own label — shard loops sharing
+        the crawl-wide telemetry (no per-shard journals) still publish
+        under their own row instead of collapsing into it."""
+        label = self.shard if shard is None else shard
+        if queue_depth is not None:
+            self.shard_queue_depth.labels(shard=label).set(queue_depth)
+        if lag is not None:
+            self.shard_loop_lag.labels(shard=label).set(lag)
+        if open_breakers is not None:
+            self.shard_open_breakers.labels(shard=label).set(open_breakers)
+        if journal_backlog is not None:
+            self.journal_backlog.labels(shard=label).set(journal_backlog)
 
     # -- discovery -----------------------------------------------------------
 

@@ -158,6 +158,7 @@ class EventJournal:
         self._stream = stream
         self._owns_stream = False
         self.events_written = 0
+        self._unflushed = 0
 
     @classmethod
     def open(cls, path: Union[str, Path]) -> "EventJournal":
@@ -168,9 +169,16 @@ class EventJournal:
     def emit(self, event: Event) -> None:
         self._stream.write(event.to_json() + "\n")
         self.events_written += 1
+        self._unflushed += 1
+
+    @property
+    def backlog(self) -> int:
+        """Events written since the last flush (the shard health gauge)."""
+        return self._unflushed
 
     def flush(self) -> None:
         self._stream.flush()
+        self._unflushed = 0
 
     def close(self) -> None:
         self.flush()

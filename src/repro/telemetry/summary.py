@@ -23,7 +23,9 @@ def _format_table(title: str, headers: Sequence[str], rows: List[Sequence]) -> s
     return format_table(title, headers, rows)
 
 
-_QUANTILES = (0.5, 0.9, 0.99)
+#: stage-latency columns: medians for the bulk, p95 for the tail, and the
+#: worst single observation (max exposes the one outlier percentiles hide)
+_QUANTILES = (0.5, 0.95, 1.0)
 
 #: §4 funnel order: the stages a dial passes through, worst first
 _OUTCOME_ORDER = (
@@ -136,7 +138,7 @@ def summarize_journal(events: Iterable[Event]) -> str:
         ),
         _format_table(
             "Stage latency",
-            ["stage", "p50", "p90", "p99"],
+            ["stage", "p50", "p95", "max"],
             _quantile_rows(dict(stage_latency)),
         ),
         _health_text(breaker, supervisor, retries),
@@ -225,7 +227,7 @@ def summarize_snapshot(snapshot: dict) -> str:
             ),
             _format_table(
                 "Stage latency",
-                ["stage", "p50", "p90", "p99"],
+                ["stage", "p50", "p95", "max"],
                 _quantile_rows(stage_latency),
             ),
             _health_text(breaker, supervisor, retries),

@@ -1,0 +1,22 @@
+"""Fixture: profiler/flight-recorder code calling wall clocks directly.
+
+Every call below fires OBS-CLOCK — a profiler that reads the wall clock
+itself (instead of its injected one) can never produce a byte-stable
+attribution table, and a recorder that stamps dumps off the calendar
+forks the journal timeline.
+"""
+
+import time
+
+
+class ScopeTimer:
+    def __enter__(self):
+        self.started = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info):
+        self.duration = time.perf_counter() - self.started
+
+
+def dump_timestamp():
+    return time.thread_time()

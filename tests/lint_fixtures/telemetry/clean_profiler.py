@@ -1,0 +1,38 @@
+"""Fixture: the sanctioned profiler/flight-recorder clock idiom.
+
+``time.perf_counter`` appears only *by reference* as a default; every
+read goes through the injected callable, and the deterministic mode
+injects a virtual clock instead.  OBS-CLOCK must stay silent here.
+"""
+
+import time
+
+
+class VirtualClock:
+    def __init__(self, quantum=1e-6):
+        self.now = 0.0
+        self.quantum = quantum
+
+    def __call__(self):
+        now = self.now
+        self.now += self.quantum
+        return now
+
+
+class ScopeProfiler:
+    def __init__(self, clock=None):
+        # reference, not a call: the wall clock is a default, never read here
+        self.clock = clock if clock is not None else time.perf_counter
+
+    def time_once(self, operation):
+        started = self.clock()
+        operation()
+        return self.clock() - started
+
+
+class Recorder:
+    def __init__(self, clock=time.monotonic):
+        self.clock = clock
+
+    def dump_timestamp(self):
+        return self.clock()

@@ -68,6 +68,7 @@ FIRING = {
     "nodefinder/bad_raw_await.py": {"RETRY-SAFE": 3},
     "nodefinder/bad_shard_state.py": {"SHARD-SAFE": 2},
     "telemetry/bad_wallclock.py": {"OBS-CLOCK": 3},
+    "telemetry/bad_profiler_wallclock.py": {"OBS-CLOCK": 3},
     "analysis/bad_impure.py": {"INGEST-PURE": 4},
     "race/bad_rmw.py": {"RACE-RMW": 3},
     "race/bad_stale.py": {"RACE-STALE": 2},
@@ -86,6 +87,7 @@ CLEAN = [
     "nodefinder/clean_deadline.py",
     "nodefinder/clean_shard_writer.py",
     "telemetry/clean_injected.py",
+    "telemetry/clean_profiler.py",
     "analysis/clean_pure.py",
     "race/clean_locked.py",
     "task_life/clean_supervised.py",

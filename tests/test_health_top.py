@@ -1,0 +1,151 @@
+"""Shard health introspection: gauges, Prometheus export, `nodefinder top`."""
+
+import json
+
+from repro.cli import main
+from repro.nodefinder.fleet import run_fleet
+from repro.nodefinder.scanner import NodeFinderConfig
+from repro.simnet.population import PopulationConfig
+from repro.simnet.world import SimWorld, WorldConfig
+from repro.telemetry import Telemetry, render_prometheus, render_top
+
+HEALTH_GAUGES = (
+    "crawler_shard_loop_lag_seconds",
+    "crawler_shard_open_breakers",
+    "crawler_journal_backlog",
+)
+
+
+def _value(snapshot, name, shard):
+    for metric in snapshot["metrics"]:
+        if metric["name"] == name:
+            for series in metric["series"]:
+                if series["labels"].get("shard") == shard:
+                    return series["value"]
+    raise AssertionError(f"no {name}{{shard={shard!r}}} in snapshot")
+
+
+class TestShardHealthGauges:
+    def test_record_shard_health_sets_every_gauge(self):
+        telemetry = Telemetry(shard="3")
+        telemetry.record_shard_health(
+            queue_depth=7, lag=0.25, open_breakers=2, journal_backlog=41
+        )
+        snapshot = telemetry.registry.snapshot()
+        assert _value(snapshot, "crawler_shard_queue_depth", "3") == 7.0
+        assert _value(snapshot, "crawler_shard_loop_lag_seconds", "3") == 0.25
+        assert _value(snapshot, "crawler_shard_open_breakers", "3") == 2.0
+        assert _value(snapshot, "crawler_journal_backlog", "3") == 41.0
+
+    def test_none_fields_leave_gauges_untouched(self):
+        telemetry = Telemetry(shard="0")
+        telemetry.record_shard_health(lag=0.5)
+        snapshot = telemetry.registry.snapshot()
+        assert _value(snapshot, "crawler_shard_loop_lag_seconds", "0") == 0.5
+        for metric in snapshot["metrics"]:
+            if metric["name"] == "crawler_shard_open_breakers":
+                assert metric["series"] == []
+
+    def test_shard_override_beats_the_facade_label(self):
+        # shard loops sharing the crawl-wide telemetry (no per-shard
+        # journals) publish under their own row, not the "" row
+        telemetry = Telemetry()
+        telemetry.record_shard_health(lag=0.7, shard="2")
+        snapshot = telemetry.registry.snapshot()
+        assert _value(snapshot, "crawler_shard_loop_lag_seconds", "2") == 0.7
+
+    def test_health_gauges_reach_prometheus_exposition(self):
+        telemetry = Telemetry(shard="1")
+        telemetry.record_shard_health(
+            queue_depth=1, lag=0.1, open_breakers=0, journal_backlog=5
+        )
+        text = render_prometheus(telemetry.registry)
+        for name in HEALTH_GAUGES:
+            assert name in text, name
+        assert 'crawler_journal_backlog{shard="1"} 5' in text
+
+
+def sample_snapshot():
+    telemetry = Telemetry(shard="0")
+    Telemetry(registry=telemetry.registry, shard="1").record_shard_health(
+        queue_depth=3, lag=0.02, open_breakers=1, journal_backlog=12
+    )
+    telemetry.record_shard_health(
+        queue_depth=0, lag=0.5, open_breakers=0, journal_backlog=2
+    )
+    telemetry.dials.labels(outcome="full-harvest", stage="", shard="0").inc(9)
+    telemetry.dials.labels(outcome="timeout", stage="connect", shard="1").inc(4)
+    telemetry.breaker_transitions.labels(to="open", shard="1").inc(2)
+    return telemetry.registry.snapshot()
+
+
+class TestRenderTop:
+    def test_rows_per_shard_sorted_numerically(self):
+        lines = render_top(sample_snapshot()).splitlines()
+        shard_rows = [line.split() for line in lines[3:5]]
+        assert [row[0] for row in shard_rows] == ["0", "1"]
+        # shard 1: 4 dials, queue 3, lag 0.020, one open breaker, backlog 12
+        assert shard_rows[1] == ["1", "4", "3", "0.020", "1", "12"]
+
+    def test_counters_fold_into_the_footer(self):
+        text = render_top(sample_snapshot())
+        assert "breaker transitions: open=2" in text
+        assert "full-harvest=9" in text and "timeout=4" in text
+
+    def test_byte_stable_for_a_snapshot(self):
+        snapshot = sample_snapshot()
+        assert render_top(snapshot) == render_top(snapshot)
+
+    def test_empty_snapshot_renders_placeholder(self):
+        text = render_top({"metrics": []})
+        assert "Shard health" in text
+        assert "-" in text
+        assert "breaker transitions: none" in text
+
+
+class TestSimIntegration:
+    def test_sharded_sim_crawl_publishes_health(self, tmp_path):
+        world = SimWorld(
+            WorldConfig(
+                population=PopulationConfig(
+                    total_nodes=150, seed=2018, measurement_days=1.0
+                ),
+                seed=7,
+            )
+        )
+        fleet = run_fleet(
+            world,
+            instance_count=1,
+            days=0.25,
+            config=NodeFinderConfig(seed=1, discovery_interval=200),
+            telemetry_dir=tmp_path,
+        )
+        snapshot = json.loads((tmp_path / "metrics.json").read_text())
+        text = render_top(snapshot)
+        assert "Shard health" in text
+        assert "full-harvest" in text
+        assert fleet.merged_db  # the crawl itself still worked
+        backlog = next(
+            metric
+            for metric in snapshot["metrics"]
+            if metric["name"] == "crawler_journal_backlog"
+        )
+        assert backlog["series"], "scanner never published journal backlog"
+
+
+class TestTopCLI:
+    def test_top_renders_a_metrics_file(self, tmp_path, capsys):
+        path = tmp_path / "metrics.json"
+        path.write_text(json.dumps(sample_snapshot()))
+        assert main(["top", "--metrics", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "Shard health" in out
+        assert "dial outcomes" in out
+
+    def test_top_is_byte_stable(self, tmp_path, capsys):
+        path = tmp_path / "metrics.json"
+        path.write_text(json.dumps(sample_snapshot()))
+        assert main(["top", "--metrics", str(path)]) == 0
+        first = capsys.readouterr().out
+        assert main(["top", "--metrics", str(path)]) == 0
+        assert capsys.readouterr().out == first

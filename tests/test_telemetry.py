@@ -533,6 +533,45 @@ class TestSummaries:
         assert "Stage latency" in text and "connect" in text
         assert math.isfinite(1.0)  # sanity: text path raised nothing
 
+    def test_stage_latency_reports_p50_p95_max(self):
+        telemetry, stream, clock = TestTelemetryFacade().make()
+        # 0.1s .. 1.0s in ten dials: p50 straddles the middle, max = 1.0s
+        for n in range(1, 11):
+            span = telemetry.start_span("dial")
+            stage = span.child("hello")
+            clock.advance(n / 10)
+            stage.finish()
+            telemetry.record_dial(
+                full_result(duration=span.finish("full-harvest")), span=span
+            )
+        text = summarize_journal(read_events(stream.getvalue().splitlines()))
+        header = next(
+            line
+            for line in text.splitlines()
+            if line.startswith("stage") and "p50" in line
+        )
+        assert ["stage", "p50", "p95", "max"] == header.split()
+        row = next(line for line in text.splitlines() if line.startswith("hello"))
+        # exact-samples path: p50 indexes the upper-middle sample,
+        # max is the worst dial
+        assert "600.0ms" in row
+        assert "1000.0ms" in row
+
+    def test_journal_summary_is_deterministic(self):
+        telemetry, stream, clock = TestTelemetryFacade().make()
+        for n in range(1, 6):
+            span = telemetry.start_span("dial")
+            stage = span.child("connect")
+            clock.advance(n / 100)
+            stage.finish()
+            telemetry.record_dial(
+                full_result(duration=span.finish("full-harvest")), span=span
+            )
+        lines = stream.getvalue().splitlines()
+        first = summarize_journal(read_events(lines))
+        second = summarize_journal(read_events(lines))
+        assert first == second
+
     def test_empty_inputs_render(self):
         assert "no transitions" in summarize_journal([])
         assert "Dial funnel" in summarize_snapshot({"metrics": []})
