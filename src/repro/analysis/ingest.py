@@ -121,6 +121,11 @@ class ReplayedCrawl:
     rejected_subnets: Counter = field(default_factory=Counter)
     #: subnet-scope breaker OPEN transitions by prefix (v3)
     subnet_breaker_trips: Counter = field(default_factory=Counter)
+    #: shard handoffs found in sealed segments (v4 ``reshard`` records),
+    #: deduplicated by generation and sorted by (ts, generation); each is
+    #: ``{"action", "step", "generation", "parent", "children", "ts"}``
+    reshards: List[dict] = field(default_factory=list)
+    reshard_generations: set = field(default_factory=set)
 
     def timeline(self, node_id: bytes) -> Optional[PeerTimeline]:
         return self.timelines.get(node_id)
@@ -232,6 +237,27 @@ def replay(events: Iterable[Event]) -> ReplayedCrawl:
         if event.type == "breaker" and fields.get("scope") == "subnet":
             if fields.get("new") == "open":
                 out.subnet_breaker_trips[str(fields.get("subnet"))] += 1
+            continue
+        if event.type == "reshard":
+            # (v4) a sealed segment's handoff marker.  A merge seals two
+            # parent segments with the same generation's record — dedupe
+            # on generation so the plan history reads one row per op.
+            generation = fields.get("generation")
+            if generation is not None and generation not in out.reshard_generations:
+                out.reshard_generations.add(generation)
+                out.reshards.append(
+                    {
+                        "action": fields.get("action"),
+                        "step": fields.get("step"),
+                        "generation": generation,
+                        "parent": fields.get("parent"),
+                        "children": fields.get("children"),
+                        "ts": event.ts,
+                    }
+                )
+                out.reshards.sort(
+                    key=lambda op: (op["ts"], op["generation"])
+                )
             continue
         node_id = _node_id(event)
         if node_id is not None:
@@ -372,6 +398,15 @@ def replay_journals(
     same node at the same timestamp, and the merged replay reconstructs
     the same NodeDB the live sharded crawl folded through its writer
     queue (the shard-conformance suite pins this).
+
+    Elastic crawls add generation-suffixed segments
+    (``<name>-shard<k>.g<gen>.jsonl``): a reshard seals the parent
+    segment with a ``reshard`` record and the children continue in fresh
+    files.  The same timestamp merge reassembles them — a node's dials
+    stay in order because its owning range hands off at a single instant,
+    so the sealed parent's records all precede its children's.  The
+    reshard-conformance suite pins entry-for-entry reconstruction across
+    generations.
     """
     merged: List[Event] = []
     for source in sources:

@@ -160,23 +160,45 @@ def _cmd_crawl(args: argparse.Namespace) -> int:
     except DiscoveryError as exc:
         print(f"crawl: bad --enode: {exc}", file=sys.stderr)
         return 2
+    policy = None
+    if args.max_shards > args.shards:
+        from repro.nodefinder.reshard import ReshardPolicy
+
+        # elastic: the reshard loop may split hot shards up to the cap
+        # (and merge cold siblings back down, never below the start count)
+        policy = ReshardPolicy(max_shards=args.max_shards, min_shards=args.shards)
     config = LiveConfig(
         shards=args.shards,
         lookup_interval=args.lookup_interval,
         static_dial_interval=args.static_dial_interval,
+        reshard=policy,
     )
     journal = None
     shard_journals = None
+    journal_opener = None
+    opened: list[EventJournal] = []
     journal_dir = Path(args.journal_dir) if args.journal_dir else None
     if journal_dir is not None:
         journal_dir.mkdir(parents=True, exist_ok=True)
-        if config.shards > 1:
+        if policy is not None:
+            # elastic crawls journal per segment: reshards seal parents
+            # and open generation-suffixed children through this opener
+            def journal_opener(segment: str) -> EventJournal:
+                opened_journal = EventJournal.open(
+                    journal_dir / f"crawl-shard{segment}.jsonl"
+                )
+                opened.append(opened_journal)
+                return opened_journal
+
+        elif config.shards > 1:
             shard_journals = [
                 EventJournal.open(journal_dir / f"crawl-shard{index}.jsonl")
                 for index in range(config.shards)
             ]
+            opened.extend(shard_journals)
         else:
             journal = EventJournal.open(journal_dir / "crawl.jsonl")
+            opened.append(journal)
 
     async def run() -> int:
         finder = LiveNodeFinder(
@@ -184,6 +206,7 @@ def _cmd_crawl(args: argparse.Namespace) -> int:
             config=config,
             telemetry=Telemetry(journal=journal) if journal else None,
             shard_journals=shard_journals,
+            journal_opener=journal_opener,
         )
         await finder.start(bootstrap)
         try:
@@ -192,7 +215,7 @@ def _cmd_crawl(args: argparse.Namespace) -> int:
             await finder.stop()
         stats = finder.stats
         print(
-            f"crawled for {args.seconds:.0f}s with {config.shards} shard(s): "
+            f"crawled for {args.seconds:.0f}s with {finder.shard_count} shard(s): "
             f"{len(finder.db)} node IDs, {stats['dynamic_dials']} dynamic + "
             f"{stats['static_dials']} static dials, "
             f"{finder.writer.folds} writer folds"
@@ -205,7 +228,8 @@ def _cmd_crawl(args: argparse.Namespace) -> int:
     try:
         return asyncio.run(run())
     finally:
-        for open_journal in (shard_journals or ([journal] if journal else [])):
+        # sealed segments are already closed; close() is idempotent
+        for open_journal in opened:
             open_journal.close()
         if journal_dir is not None:
             paths = sorted(journal_dir.glob("crawl*.jsonl"))
@@ -242,6 +266,11 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         from repro.telemetry import Profiler, TickClock
 
         profiler = Profiler(clock=TickClock())
+    reshard = None
+    if args.max_shards > args.shards:
+        from repro.nodefinder.reshard import ReshardPolicy
+
+        reshard = ReshardPolicy(max_shards=args.max_shards, min_shards=args.shards)
     fleet = run_fleet(
         world,
         instance_count=args.instances,
@@ -249,6 +278,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         config=NodeFinderConfig(
             discovery_interval=args.discovery_interval,
             shards=args.shards,
+            reshard=reshard,
             defenses=DefenseConfig() if args.defenses else None,
         ),
         telemetry_dir=args.telemetry_dir,
@@ -431,6 +461,10 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--discovery-interval", type=float, default=60.0)
     simulate.add_argument("--shards", type=int, default=1,
                           help="worker shards partitioning the enode keyspace")
+    simulate.add_argument("--max-shards", type=int, default=0,
+                          help="elastic sharding: allow the reshard "
+                               "controller to split hot shards up to this "
+                               "cap (> --shards enables it)")
     simulate.add_argument("--telemetry-dir", metavar="DIR",
                           help="write per-instance journals + merged metrics here "
                                "(one journal per shard when --shards > 1)")
@@ -493,6 +527,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="bootstrap enode:// URL (repeatable)")
     crawl.add_argument("--shards", type=int, default=1,
                        help="worker shards partitioning the enode keyspace")
+    crawl.add_argument("--max-shards", type=int, default=0,
+                       help="elastic sharding: allow the reshard controller "
+                            "to split hot shards up to this cap "
+                            "(> --shards enables it)")
     crawl.add_argument("--seconds", type=float, default=60.0,
                        help="crawl duration")
     crawl.add_argument("--lookup-interval", type=float, default=4.0)

@@ -44,6 +44,11 @@ WRITER_SETS = {
     "NodeDB": frozenset({"NodeDBWriter"}),
     "CrawlStats": frozenset({"NodeDBWriter"}),
     "MetricsRegistry": frozenset({"Telemetry"}),
+    # sealing a journal segment ends its lifetime — only the reshard
+    # handoff path (and the writer that owns crawl shutdown) may do it,
+    # or a crash between the seal and the handoff could orphan a
+    # half-written generation
+    "EventJournal": frozenset({"NodeDBWriter", "ReshardCoordinator"}),
 }
 
 #: the methods that mutate each tracked type
@@ -53,6 +58,7 @@ MUTATORS_BY_TYPE = {
         {"record_dial", "record_discovery", "watch_bootstrap", "merge"}
     ),
     "MetricsRegistry": frozenset({"counter", "gauge", "histogram"}),
+    "EventJournal": frozenset({"seal"}),
 }
 
 
@@ -195,10 +201,11 @@ class StateOwnership(ProjectRule):
     code = "OWNERSHIP"
     name = "shared-state-ownership"
     description = (
-        "NodeDB, CrawlStats, and MetricsRegistry are mutated only inside "
-        "their defining module or their declared writer classes "
-        "(NodeDBWriter, Telemetry); mutation sites are resolved by type "
-        "across the whole tree, not by receiver name"
+        "NodeDB, CrawlStats, MetricsRegistry, and EventJournal are mutated "
+        "only inside their defining module or their declared writer classes "
+        "(NodeDBWriter, Telemetry, ReshardCoordinator — sealing a journal "
+        "segment is the reshard handoff's job); mutation sites are resolved "
+        "by type across the whole tree, not by receiver name"
     )
     scope = None
 

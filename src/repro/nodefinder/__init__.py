@@ -19,6 +19,14 @@ harvest over the real asyncio RLPx stack against live TCP nodes
 
 from repro.nodefinder.database import NodeDB, NodeEntry
 from repro.nodefinder.records import CrawlStats, DayCounters
+from repro.nodefinder.reshard import (
+    DynamicShardPlan,
+    ReshardController,
+    ReshardCoordinator,
+    ReshardOp,
+    ReshardPolicy,
+    ShardRange,
+)
 from repro.nodefinder.sanitize import SanitizationReport, sanitize
 from repro.nodefinder.scanner import NodeFinderConfig, NodeFinderInstance
 from repro.nodefinder.fleet import Fleet, run_fleet
@@ -29,8 +37,14 @@ __all__ = [
     "NodeEntry",
     "CrawlStats",
     "DayCounters",
+    "DynamicShardPlan",
+    "ReshardController",
+    "ReshardCoordinator",
+    "ReshardOp",
+    "ReshardPolicy",
     "SanitizationReport",
     "sanitize",
+    "ShardRange",
     "NodeFinderConfig",
     "NodeFinderInstance",
     "Fleet",

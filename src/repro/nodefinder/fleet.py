@@ -20,7 +20,13 @@ from repro.nodefinder.records import CrawlStats
 from repro.nodefinder.scanner import NodeFinderConfig, NodeFinderInstance
 from repro.simnet.adversary import AdversaryCampaign
 from repro.simnet.world import SimWorld
-from repro.telemetry import NULL_TELEMETRY, EventJournal, Telemetry, merge_snapshots
+from repro.telemetry import (
+    NULL_TELEMETRY,
+    EventJournal,
+    Telemetry,
+    merge_snapshots,
+    split_snapshot_by_shard,
+)
 from repro.telemetry.flightrecorder import FlightRecorder
 from repro.telemetry.profiler import Profiler
 
@@ -63,6 +69,25 @@ class Fleet:
             names=[instance.name for instance in self.instances],
         )
 
+    def shard_labeled_metrics(self) -> dict:
+        """One snapshot with per-shard series across the fleet.
+
+        Each shard's series merge under the instance name
+        ``<name>-shard<label>`` — for elastic crawls the label is the
+        generation-suffixed segment id (``<name>-shard<k>.g<gen>``), so
+        children born from a split never collide with the pre-split
+        shard's name (``merge_snapshots`` raises on duplicates)."""
+        snapshots: list[dict] = []
+        names: list[str] = []
+        for instance in self.instances:
+            per_shard = split_snapshot_by_shard(
+                instance.telemetry.registry.snapshot()
+            )
+            for shard, snapshot in per_shard.items():
+                snapshots.append(snapshot)
+                names.append(f"{instance.name}-shard{shard}")
+        return merge_snapshots(snapshots, names=names)
+
 
 def run_fleet(
     world: SimWorld,
@@ -84,7 +109,11 @@ def run_fleet(
     one journal per shard (``<dir>/<name>-shard<k>.jsonl``), which
     ``repro.analysis.ingest.replay_journals`` merges back into a single
     timeline — and the merged metrics snapshot is written to
-    ``<dir>/metrics.json`` when the run completes.
+    ``<dir>/metrics.json`` when the run completes.  Elastic runs
+    (``config.reshard`` set) journal per *segment* instead
+    (``<dir>/<name>-shard<k>.g<gen>.jsonl``): reshards seal parent
+    segments mid-crawl and open generation-suffixed children, all of
+    which land in ``journal_paths``.
 
     With ``adversary`` the campaign is launched against the *first*
     instance's node ID after every instance has minted its identity but
@@ -110,12 +139,29 @@ def run_fleet(
     journal_paths: list[Path] = []
     if profiler is not None:
         world.clock.profiler = profiler
+    reshard_policy = config.reshard if config is not None else None
     for index in range(instance_count):
         name = f"nodefinder-{index}"
         telemetry = NULL_TELEMETRY
         shard_journals: list[EventJournal] | None = None
+        journal_opener = None
         if export_dir is not None:
-            if shard_count > 1:
+            if reshard_policy is not None:
+                # elastic runs journal per segment: the instance opens
+                # <name>-shard<segment>.jsonl on demand (generation 0 at
+                # start, children as reshards happen) via its coordinator
+                telemetry = Telemetry(
+                    clock=clock, profiler=profiler, recorder=recorder
+                )
+
+                def journal_opener(
+                    segment: str, name: str = name
+                ) -> EventJournal:
+                    path = export_dir / f"{name}-shard{segment}.jsonl"
+                    journal_paths.append(path)
+                    return EventJournal.open(path)
+
+            elif shard_count > 1:
                 # one journal per shard (<name>-shard<k>.jsonl); the
                 # instance telemetry keeps the shared metrics registry
                 # while each shard journals its own dial stream
@@ -152,6 +198,7 @@ def run_fleet(
             name=name,
             telemetry=telemetry,
             shard_journals=shard_journals,
+            journal_opener=journal_opener,
         )
         if watch_bootstrap and bootstrap:
             instance.watch_bootstrap(bootstrap[0].node_id)
@@ -166,6 +213,10 @@ def run_fleet(
     finally:
         for journal in journals:
             journal.close()
+        for instance in instances:
+            # elastic runs: segments sealed mid-crawl are already closed;
+            # the still-live ones close here
+            instance.coordinator.close_open_segments()
     if export_dir is not None:
         fleet.metrics_path = export_dir / "metrics.json"
         with open(fleet.metrics_path, "w", encoding="utf-8") as stream:

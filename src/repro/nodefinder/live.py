@@ -30,6 +30,12 @@ from repro.crypto.keys import PrivateKey
 from repro.discovery.enode import ENode
 from repro.discovery.protocol import DiscoveryService
 from repro.nodefinder.database import NodeDB
+from repro.nodefinder.reshard import (
+    DynamicShardPlan,
+    ReshardController,
+    ReshardCoordinator,
+    ReshardPolicy,
+)
 from repro.nodefinder.shard import NodeDBWriter, ShardPlan, ShardState
 from repro.nodefinder.wire import harvest
 from repro.resilience import LoopSupervisor, PeerScoreboard, RetryPolicy
@@ -63,6 +69,11 @@ class LiveConfig:
     shards: int = 1
     #: dynamic-dial targets a shard loop drains from its queue per pass
     shard_batch: int = 8
+    #: elastic sharding: when set, a supervised reshard loop polls the
+    #: shard-health gauges and may split hot shards / merge cold siblings
+    #: mid-crawl with a drain-seal-handoff protocol (see
+    #: :mod:`repro.nodefinder.reshard`); None keeps the static plan
+    reshard: Optional[ReshardPolicy] = None
 
 
 class LiveNodeFinder:
@@ -78,6 +89,7 @@ class LiveNodeFinder:
         telemetry: Optional[Telemetry] = None,
         shard_journals: Optional[list[EventJournal]] = None,
         harvester: Optional[Callable] = None,
+        journal_opener: Optional[Callable[[str], EventJournal]] = None,
     ) -> None:
         self.private_key = private_key or PrivateKey.generate()
         self.config = config or LiveConfig()
@@ -112,19 +124,45 @@ class LiveNodeFinder:
         #: tests swap in a stub to exercise the scheduler without sockets
         self._harvest = harvester if harvester is not None else harvest
         # -- sharding -------------------------------------------------------
-        self.plan = ShardPlan(max(1, int(self.config.shards)))
-        self.shard_count = self.plan.shards
+        shards = max(1, int(self.config.shards))
+        policy = self.config.reshard
+        if journal_opener is not None and shard_journals is not None:
+            raise ValueError(
+                "journal_opener and shard_journals are mutually exclusive"
+            )
+        if policy is not None and shard_journals is not None:
+            raise ValueError(
+                "elastic crawls journal per segment: pass journal_opener, "
+                "not a fixed shard_journals list"
+            )
+        # an elastic crawl (or a segment-keyed journal opener) switches to
+        # the dynamic plan; its generation-0 ranges match the static plan
+        if policy is not None or journal_opener is not None:
+            self.plan: ShardPlan | DynamicShardPlan = DynamicShardPlan(shards)
+        else:
+            self.plan = ShardPlan(shards)
+        self.controller: Optional[ReshardController] = None
+        if policy is not None:
+            assert isinstance(self.plan, DynamicShardPlan)
+            self.controller = ReshardController(policy, self.plan)
+        self.coordinator = ReshardCoordinator(journal_opener)
         #: every NodeDB/CrawlStats mutation goes through this single writer
         #: (queued mode while sharded loops run; SHARD-SAFE pins the rule)
         self.writer = NodeDBWriter(self.db, telemetry=self.telemetry)
         self._shards: list[ShardState] = []
-        if shard_journals is not None and len(shard_journals) != self.shard_count:
+        if shard_journals is not None and len(shard_journals) != shards:
             raise ValueError(
-                f"{len(shard_journals)} shard journals for "
-                f"{self.shard_count} shards"
+                f"{len(shard_journals)} shard journals for {shards} shards"
             )
-        if self.shard_count > 1:
-            for index in range(self.shard_count):
+        if isinstance(self.plan, DynamicShardPlan):
+            # elastic mode always runs shard loops (even at one shard —
+            # the controller may split it), labeled by stable segment id
+            for index, shard_range in enumerate(self.plan.ranges):
+                self._shards.append(
+                    self._make_shard_state(index, shard_range.segment)
+                )
+        elif shards > 1:
+            for index in range(shards):
                 if shard_journals is not None:
                     # own journal, shared metrics registry: counters
                     # aggregate exactly as unsharded while each shard's
@@ -153,6 +191,42 @@ class LiveNodeFinder:
                         self.config.max_active_dials,
                     )
                 )
+
+    @property
+    def shard_count(self) -> int:
+        return self.plan.shards
+
+    def _make_shard_state(self, index: int, segment: str) -> ShardState:
+        """Build one elastic shard: segment journal, fresh breakers."""
+        journal = (
+            self.coordinator.open_segment(segment)
+            if self.coordinator.journaled
+            else None
+        )
+        if journal is not None:
+            shard_telemetry = Telemetry(
+                registry=self.telemetry.registry,
+                journal=journal,
+                clock=self.clock,
+                shard=segment,
+                profiler=self.telemetry.profiler,
+                recorder=self.telemetry.recorder,
+            )
+        else:
+            shard_telemetry = self.telemetry
+        shard_breakers = PeerScoreboard(
+            failure_threshold=self.config.breaker_threshold,
+            cooldown=self.config.breaker_cooldown,
+            clock=self.clock,
+            on_transition=shard_telemetry.record_breaker,
+        )
+        return ShardState(
+            index,
+            shard_telemetry,
+            shard_breakers,
+            self.config.max_active_dials,
+            segment=segment,
+        )
 
     @property
     def stats(self) -> dict[str, int]:
@@ -188,39 +262,47 @@ class LiveNodeFinder:
         loops: list[tuple[str, Callable]] = [
             ("discovery", self._discovery_loop)
         ]
-        if self.shard_count == 1:
+        if not self._shards:
             loops.append(("static", self._static_loop))
         else:
             # sharded mode: the writer serializes folds behind a queue and
             # each shard gets its own supervised dial loop
             self.writer.start()
-            for shard in self._shards:
-                loops.append(
-                    (
-                        f"shard-{shard.index}",
-                        lambda shard=shard: self._shard_loop(shard),
-                    )
-                )
+        if self.controller is not None:
+            loops.append(("reshard", self._reshard_loop))
         for name, loop in loops:
-            supervisor = LoopSupervisor(
-                name,
-                loop,
-                policy=self.config.supervisor_policy,
-                rng=self.rng,
-                on_crash=lambda exc, name=name: self.telemetry.record_loop_crash(
-                    name, repr(exc)
-                ),
-                on_restart=lambda name=name: self.telemetry.record_loop_restart(
-                    name
-                ),
-            )
-            self._supervisors.append(supervisor)
-            task = asyncio.ensure_future(supervisor.run())
-            task.add_done_callback(
-                lambda task, name=name: self._task_died(name, task)
-            )
-            self._tasks.append(task)
+            self._spawn_loop(name, loop)
+        for shard in self._shards:
+            self._spawn_shard_loop(shard)
+        if isinstance(self.plan, DynamicShardPlan):
+            self._publish_plan()
         return self
+
+    def _spawn_loop(self, name: str, loop: Callable) -> asyncio.Task:
+        supervisor = LoopSupervisor(
+            name,
+            loop,
+            policy=self.config.supervisor_policy,
+            rng=self.rng,
+            on_crash=lambda exc, name=name: self.telemetry.record_loop_crash(
+                name, repr(exc)
+            ),
+            on_restart=lambda name=name: self.telemetry.record_loop_restart(
+                name
+            ),
+        )
+        self._supervisors.append(supervisor)
+        task = asyncio.ensure_future(supervisor.run())
+        task.add_done_callback(
+            lambda task, name=name: self._task_died(name, task)
+        )
+        self._tasks.append(task)
+        return task
+
+    def _spawn_shard_loop(self, shard: ShardState) -> None:
+        shard.task = self._spawn_loop(
+            f"shard-{shard.label}", lambda shard=shard: self._shard_loop(shard)
+        )
 
     def _task_died(self, name: str, task: asyncio.Task) -> None:
         """A supervised loop ended for good — count it if it crashed.
@@ -253,6 +335,9 @@ class LiveNodeFinder:
         # drain queued folds before shutdown so the database reflects every
         # dial the shards completed
         await self.writer.close()
+        # elastic runs: segments sealed mid-crawl are already closed; the
+        # still-live generation's journals close here
+        self.coordinator.close_open_segments()
         if self.discovery is not None:
             self.discovery.close()
 
@@ -271,7 +356,7 @@ class LiveNodeFinder:
                 and node.node_id != self.discovery.node_id
                 and node.node_id not in self._dialed_once
             ]
-            if self.shard_count > 1:
+            if self._shards:
                 # route each target to the shard owning its keyspace slice;
                 # the shard loop batches the draws
                 for node in fresh:
@@ -279,7 +364,7 @@ class LiveNodeFinder:
                     shard = self._shards[self.plan.shard_of(node.node_id)]
                     shard.queue.put_nowait(node)
                     shard.telemetry.shard_queue_depth.labels(
-                        shard=str(shard.index)
+                        shard=shard.label
                     ).set(float(shard.queue.qsize()))
                 await asyncio.sleep(self.config.lookup_interval)
                 continue
@@ -347,7 +432,10 @@ class LiveNodeFinder:
         :class:`NodeDBWriter` — no cross-shard state, no locks.
         """
         poll = min(1.0, self.config.static_dial_interval / 10)
-        while not self._stopping:
+        # a reshard handoff retires the loop: it finishes the pass in
+        # flight (draining its dials) and returns cleanly, which the
+        # supervisor treats as a normal exit
+        while not (self._stopping or shard.retired):
             now = self.clock()
             jobs: list[tuple[ENode, str]] = []
             for node_id, (enode, next_dial) in list(shard.static_nodes.items()):
@@ -375,7 +463,7 @@ class LiveNodeFinder:
             except (asyncio.TimeoutError, asyncio.QueueEmpty):
                 pass
             shard.telemetry.shard_queue_depth.labels(
-                shard=str(shard.index)
+                shard=shard.label
             ).set(float(shard.queue.qsize()))
             if jobs:
                 # exception-safe fan-out, same contract as the unsharded loop
@@ -399,12 +487,13 @@ class LiveNodeFinder:
                             outcome,
                         )
             self._prune_shard(shard)
+            shard.last_lag = self.clock() - now
             self._refresh_health(
                 shard.telemetry,
                 shard.breakers,
                 now,
                 shard.queue.qsize(),
-                shard=str(shard.index),
+                shard=shard.label,
             )
 
     def _refresh_health(
@@ -433,9 +522,127 @@ class LiveNodeFinder:
             shard=shard,
         )
 
+    # -- elastic resharding ------------------------------------------------
+
+    async def _reshard_loop(self) -> None:
+        """Poll the shard-health gauges and apply split/merge decisions.
+
+        Supervised like every other crawler loop; the controller applies
+        hysteresis and cooldown, so a healthy crawl makes this a cheap
+        periodic no-op.
+        """
+        assert self.controller is not None
+        interval = self.controller.policy.interval
+        while not self._stopping:
+            await asyncio.sleep(interval)
+            if self._stopping:
+                return
+            loads = [float(shard.queue.qsize()) for shard in self._shards]
+            lags = [shard.last_lag for shard in self._shards]
+            ops = self.controller.observe(loads, now=self.clock(), lags=lags)
+            for action, index in ops:
+                await self._apply_reshard_live(action, index)
+            if ops:
+                self._publish_plan()
+
+    async def _apply_reshard_live(self, action: str, index: int) -> None:
+        """One live handoff: drain the parent loops, seal, split/merge.
+
+        Protocol order matters:
+
+        1. flag the parent shard(s) ``retired`` and await their loop
+           tasks — the loops finish the pass in flight (all dials fold
+           through the writer queue) and return cleanly;
+        2. with the parents quiescent, mutate the plan and seal their
+           journal segments with the ``reshard`` record (no awaits from
+           here to step 4, so no loop observes a half-built plan);
+        3. hand off: statics and queued targets transfer to the child
+           owning their prefix; children get fresh breaker scoreboards
+           (failure history does not survive a handoff — a deliberate
+           reset, the cooldowns re-learn quickly);
+        4. splice the children into the shard list, renumber positional
+           indices, and spawn their supervised loops.
+        """
+        assert self.controller is not None
+        plan = self.plan
+        assert isinstance(plan, DynamicShardPlan)
+        step = self.controller.step - 1
+        count = 1 if action == "split" else 2
+        parents = self._shards[index : index + count]
+        for shard in parents:
+            shard.retired = True
+        drains = [shard.task for shard in parents if shard.task is not None]
+        if drains:
+            await asyncio.gather(*drains, return_exceptions=True)
+        if self._stopping:
+            return
+        # ---- synchronous from here until the new loops spawn ----
+        if action == "split":
+            parent, children = plan.split(index)
+            parent_ranges = [parent]
+            child_ranges = list(children)
+        else:
+            (left, right), child = plan.merge(index)
+            parent_ranges = [left, right]
+            child_ranges = [child]
+        generation = plan.generation
+        children_spans = [(child.lo, child.hi) for child in child_ranges]
+        for shard, parent_range in zip(parents, parent_ranges):
+            if self.coordinator.journaled:
+                self.coordinator.seal_segment(
+                    shard.telemetry,
+                    parent_range.segment,
+                    action=action,
+                    step=step,
+                    generation=generation,
+                    parent=(parent_range.lo, parent_range.hi),
+                    children=children_spans,
+                )
+            else:
+                shard.telemetry.record_reshard(
+                    action=action,
+                    step=step,
+                    generation=generation,
+                    parent=(parent_range.lo, parent_range.hi),
+                    children=children_spans,
+                )
+        children_states = [
+            self._make_shard_state(index + offset, child.segment)
+            for offset, child in enumerate(child_ranges)
+        ]
+
+        def owning_child(node_id: bytes) -> ShardState:
+            offset = plan.shard_of(node_id) - index
+            return children_states[max(0, min(offset, len(children_states) - 1))]
+
+        for shard in parents:
+            for node_id, entry in shard.static_nodes.items():
+                owning_child(node_id).static_nodes[node_id] = entry
+            while True:
+                try:
+                    node = shard.queue.get_nowait()
+                except asyncio.QueueEmpty:
+                    break
+                owning_child(node.node_id).queue.put_nowait(node)
+        self._shards[index : index + count] = children_states
+        for position, shard in enumerate(self._shards):
+            shard.index = position
+        for shard in children_states:
+            self._spawn_shard_loop(shard)
+
+    def _publish_plan(self) -> None:
+        """Refresh the live-plan gauges (``nodefinder top`` renders them)."""
+        assert isinstance(self.plan, DynamicShardPlan)
+        self.telemetry.record_shard_plan(
+            [
+                (shard_range.segment, shard_range.lo, shard_range.hi)
+                for shard_range in self.plan.ranges
+            ]
+        )
+
     def _known_static(self, node_id: bytes) -> bool:
         """Is this node already on a StaticNodes schedule (any shard)?"""
-        if self.shard_count == 1:
+        if not self._shards:
             return node_id in self.static_nodes
         return node_id in self._shards[self.plan.shard_of(node_id)].static_nodes
 
@@ -506,7 +713,7 @@ class LiveNodeFinder:
             )
         shard.telemetry.record_scheduled_dial(connection_type)
         shard.telemetry.shard_dials.labels(
-            shard=str(shard.index), type=connection_type
+            shard=shard.label, type=connection_type
         ).inc()
         # the only shared-state touch on the shard hot path: hand the
         # result to the single writer queue

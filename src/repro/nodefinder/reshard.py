@@ -1,0 +1,428 @@
+"""Elastic sharding: split a hot shard / merge cold siblings mid-crawl.
+
+PR 5's :class:`~repro.nodefinder.shard.ShardPlan` fixes the node-ID-prefix
+partition at startup, so a churn burst (or a Sybil swarm) concentrated in
+one prefix slice gates the whole fleet on its hottest shard.  This module
+makes the partition *dynamic* while keeping every determinism property the
+conformance suites pin:
+
+* :class:`DynamicShardPlan` — a list of contiguous half-open 16-bit prefix
+  ranges covering the keyspace.  Generation 0 reproduces ``ShardPlan``'s
+  ceil-division ranges exactly, so an elastic crawl that never reshards is
+  byte-for-byte the static crawl.  ``split`` halves one range, ``merge``
+  fuses two adjacent ones; every operation mints a fresh *generation* and
+  each live range carries a stable **segment id** ``"<k>.g<gen>"`` (its
+  positional index at birth plus the generation that created it) used for
+  journal file names and metric labels — positional indices shift as the
+  tree changes, segment ids never collide.
+* :class:`ReshardController` — turns the PR 8 shard-health gauges (queue
+  depth, loop lag) into split/merge decisions with hysteresis (a shard
+  must look hot/cold for ``hysteresis`` consecutive observations) and a
+  cooldown between operations so the plan doesn't flap.  A scripted
+  ``schedule`` of :class:`ReshardOp` entries drives the deterministic
+  conformance crawls.
+* :class:`ReshardCoordinator` — owns the journal-segment lifecycle of a
+  handoff: it opens generation-suffixed segments and it (alone, with
+  ``NodeDBWriter`` — the OWNERSHIP lint enforces this) may **seal** a
+  parent's segment after the schema-v4 ``reshard`` event is written.
+
+The handoff protocol itself lives in the crawlers: the simnet scanner
+applies an operation between ticks (``scanner._apply_reshard``), the live
+crawler drains and retires the parent loops first
+(``live._apply_reshard_live``).  Both route every fold through the single
+:class:`~repro.nodefinder.shard.NodeDBWriter`, so replaying the merged
+generation files reconstructs the live NodeDB entry-for-entry (pinned by
+``tests/test_reshard_conformance.py``).
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.nodefinder.shard import PREFIX_SPACE
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.telemetry import Telemetry
+    from repro.telemetry.journal import EventJournal
+
+
+@dataclass(frozen=True)
+class ShardRange:
+    """One live shard's contiguous prefix range ``[lo, hi)``.
+
+    ``segment`` is the stable identity used for journal files and metric
+    labels: ``"<positional index at birth>.g<generation>"``.  Generations
+    are minted by the plan — one per split/merge — so two ranges can never
+    share a segment id even after the positional indices shift.
+    """
+
+    lo: int
+    hi: int
+    generation: int = 0
+    segment: str = ""
+
+    @property
+    def width(self) -> int:
+        return self.hi - self.lo
+
+
+class ReshardError(ValueError):
+    """An infeasible split/merge was requested (width 1, bounds, limits)."""
+
+
+class DynamicShardPlan:
+    """A mutable partition of the 16-bit prefix space into live ranges.
+
+    The generation-0 ranges are exactly ``ShardPlan.prefix_range``'s
+    ceil-division partition, so ``DynamicShardPlan(n)`` with no reshard
+    operations routes every node the way ``ShardPlan(n)`` does.
+    """
+
+    def __init__(self, shards: int) -> None:
+        if shards < 1:
+            raise ValueError(f"shard count must be >= 1, got {shards}")
+        self.generation = 0
+        self.ranges: List[ShardRange] = []
+        for index in range(shards):
+            lo = -(-index * PREFIX_SPACE // shards)
+            hi = -(-(index + 1) * PREFIX_SPACE // shards)
+            self.ranges.append(
+                ShardRange(lo=lo, hi=hi, generation=0, segment=f"{index}.g0")
+            )
+        #: every operation applied, in order: (generation, action, parent
+        #: segments, child segments) — the plan's own audit trail
+        self.history: List[Tuple[int, str, Tuple[str, ...], Tuple[str, ...]]] = []
+
+    @property
+    def shards(self) -> int:
+        return len(self.ranges)
+
+    def shard_of(self, node_id: bytes) -> int:
+        """Positional index of the range owning ``node_id``."""
+        prefix = int.from_bytes(node_id[:2], "big")
+        return self.index_of_prefix(prefix)
+
+    def index_of_prefix(self, prefix: int) -> int:
+        index = bisect.bisect_right(self._bounds(), prefix) - 1
+        return max(0, min(index, len(self.ranges) - 1))
+
+    def _bounds(self) -> List[int]:
+        return [shard_range.lo for shard_range in self.ranges]
+
+    def prefix_range(self, shard: int) -> Tuple[int, int]:
+        """The half-open 16-bit prefix range ``[lo, hi)`` shard owns."""
+        if not 0 <= shard < len(self.ranges):
+            raise ValueError(
+                f"shard {shard} out of range 0..{len(self.ranges) - 1}"
+            )
+        shard_range = self.ranges[shard]
+        return shard_range.lo, shard_range.hi
+
+    def can_split(self, index: int) -> bool:
+        return 0 <= index < len(self.ranges) and self.ranges[index].width >= 2
+
+    def can_merge(self, index: int) -> bool:
+        return 0 <= index < len(self.ranges) - 1
+
+    def split(self, index: int) -> Tuple[ShardRange, Tuple[ShardRange, ShardRange]]:
+        """Halve range ``index``; returns ``(parent, (left, right))``.
+
+        Both children carry the freshly minted generation; their segment
+        ids use the positional indices they are born at (``index`` and
+        ``index + 1``).
+        """
+        if not self.can_split(index):
+            raise ReshardError(f"cannot split shard {index}: range too narrow")
+        parent = self.ranges[index]
+        mid = (parent.lo + parent.hi) // 2
+        self.generation += 1
+        generation = self.generation
+        left = ShardRange(
+            lo=parent.lo, hi=mid, generation=generation,
+            segment=f"{index}.g{generation}",
+        )
+        right = ShardRange(
+            lo=mid, hi=parent.hi, generation=generation,
+            segment=f"{index + 1}.g{generation}",
+        )
+        self.ranges[index : index + 1] = [left, right]
+        self.history.append(
+            (generation, "split", (parent.segment,), (left.segment, right.segment))
+        )
+        return parent, (left, right)
+
+    def merge(self, index: int) -> Tuple[Tuple[ShardRange, ShardRange], ShardRange]:
+        """Fuse adjacent ranges ``index``/``index+1`` into one child."""
+        if not self.can_merge(index):
+            raise ReshardError(f"cannot merge shard {index} with its right sibling")
+        left, right = self.ranges[index], self.ranges[index + 1]
+        self.generation += 1
+        generation = self.generation
+        child = ShardRange(
+            lo=left.lo, hi=right.hi, generation=generation,
+            segment=f"{index}.g{generation}",
+        )
+        self.ranges[index : index + 2] = [child]
+        self.history.append(
+            (generation, "merge", (left.segment, right.segment), (child.segment,))
+        )
+        return (left, right), child
+
+
+@dataclass(frozen=True)
+class ReshardOp:
+    """One scripted plan change: ``split`` or ``merge`` shard ``index`` at
+    controller step ``step`` (the k-th health observation)."""
+
+    step: int
+    action: str  # "split" | "merge"
+    index: int
+
+    def __post_init__(self) -> None:
+        if self.action not in ("split", "merge"):
+            raise ValueError(f"unknown reshard action {self.action!r}")
+
+
+@dataclass
+class ReshardPolicy:
+    """When the controller may change the plan, and by how much.
+
+    ``schedule`` scripts deterministic operations (the conformance
+    harness); automatic gauge-driven decisions run when ``auto`` is true —
+    the default is automatic *unless* a schedule is given.
+    """
+
+    max_shards: int = 8
+    min_shards: int = 1
+    #: queue depth at/above which a shard counts as hot for one observation
+    split_load: float = 32.0
+    #: queue depth at/below which a shard counts as cold for one observation
+    merge_load: float = 1.0
+    #: optional loop-lag trigger (seconds); a lagging shard is hot too
+    split_lag: Optional[float] = None
+    #: consecutive hot/cold observations required before acting
+    hysteresis: int = 3
+    #: seconds between plan changes (suppresses flapping)
+    cooldown: float = 60.0
+    #: how often the live reshard loop polls the gauges
+    interval: float = 5.0
+    schedule: Tuple[ReshardOp, ...] = ()
+    auto: Optional[bool] = None
+
+    @property
+    def automatic(self) -> bool:
+        return self.auto if self.auto is not None else not self.schedule
+
+
+@dataclass
+class _Streaks:
+    hot: List[int] = field(default_factory=list)
+    cold: List[int] = field(default_factory=list)
+
+    def resize(self, shards: int) -> None:
+        self.hot = [0] * shards
+        self.cold = [0] * shards
+
+
+class ReshardController:
+    """Decides split/merge operations from health observations.
+
+    Scripted operations fire at their exact ``step``; automatic decisions
+    need ``hysteresis`` consecutive hot (or cold) observations and respect
+    the ``cooldown``.  The controller never reads a clock or RNG of its
+    own — steps and ``now`` arrive from the crawler, so a scripted elastic
+    crawl is exactly reproducible.
+    """
+
+    def __init__(self, policy: ReshardPolicy, plan: DynamicShardPlan) -> None:
+        self.policy = policy
+        self.plan = plan
+        self.step = 0
+        self._streaks = _Streaks()
+        self._streaks.resize(plan.shards)
+        self._last_op_at: Optional[float] = None
+        self._schedule = sorted(policy.schedule, key=lambda op: op.step)
+        self._schedule_pos = 0
+
+    def observe(
+        self,
+        loads: Sequence[float],
+        now: float = 0.0,
+        lags: Optional[Sequence[float]] = None,
+    ) -> List[Tuple[str, int]]:
+        """Feed one round of per-shard loads; returns ops to apply now.
+
+        ``loads[i]`` is shard i's queue depth (simnet: batch size); the
+        optional ``lags`` adds the loop-lag trigger.  The caller applies
+        each returned ``(action, index)`` in order, re-reading its own
+        shard list between them — indices are valid against the plan as
+        mutated by the preceding operations.
+        """
+        policy = self.policy
+        if len(self._streaks.hot) != self.plan.shards:
+            self._streaks.resize(self.plan.shards)
+        for index in range(self.plan.shards):
+            load = loads[index] if index < len(loads) else 0.0
+            lag = (
+                lags[index]
+                if lags is not None and index < len(lags)
+                else None
+            )
+            hot = load >= policy.split_load or (
+                policy.split_lag is not None
+                and lag is not None
+                and lag >= policy.split_lag
+            )
+            cold = load <= policy.merge_load
+            self._streaks.hot[index] = self._streaks.hot[index] + 1 if hot else 0
+            self._streaks.cold[index] = self._streaks.cold[index] + 1 if cold else 0
+        step = self.step
+        self.step += 1
+        ops = self._scripted_ops(step)
+        if not ops and policy.automatic:
+            decision = self._auto_decide(loads, now)
+            if decision is not None:
+                ops = [decision]
+        if ops:
+            self._last_op_at = now
+            self._streaks.resize(self.plan.shards)
+        return ops
+
+    def _scripted_ops(self, step: int) -> List[Tuple[str, int]]:
+        ops: List[Tuple[str, int]] = []
+        while (
+            self._schedule_pos < len(self._schedule)
+            and self._schedule[self._schedule_pos].step <= step
+        ):
+            op = self._schedule[self._schedule_pos]
+            self._schedule_pos += 1
+            if op.action == "split" and self._split_allowed(op.index):
+                ops.append(("split", op.index))
+            elif op.action == "merge" and self._merge_allowed(op.index):
+                ops.append(("merge", op.index))
+            # infeasible scripted ops are skipped, not raised: Hypothesis
+            # drives random schedules and the crawl must simply go on
+        return ops
+
+    def _split_allowed(self, index: int) -> bool:
+        return (
+            self.plan.shards < self.policy.max_shards
+            and self.plan.can_split(index)
+        )
+
+    def _merge_allowed(self, index: int) -> bool:
+        return (
+            self.plan.shards > self.policy.min_shards
+            and self.plan.can_merge(index)
+        )
+
+    def _auto_decide(
+        self, loads: Sequence[float], now: float
+    ) -> Optional[Tuple[str, int]]:
+        policy = self.policy
+        if (
+            self._last_op_at is not None
+            and now - self._last_op_at < policy.cooldown
+        ):
+            return None
+        # split the hottest shard that has been hot long enough
+        hottest: Optional[int] = None
+        for index in range(self.plan.shards):
+            if self._streaks.hot[index] < policy.hysteresis:
+                continue
+            if not self._split_allowed(index):
+                continue
+            load = loads[index] if index < len(loads) else 0.0
+            if hottest is None or load > (
+                loads[hottest] if hottest < len(loads) else 0.0
+            ):
+                hottest = index
+        if hottest is not None:
+            return ("split", hottest)
+        # merge the coldest adjacent pair where both sides have been cold
+        coldest: Optional[int] = None
+        coldest_load = 0.0
+        for index in range(self.plan.shards - 1):
+            if (
+                self._streaks.cold[index] < policy.hysteresis
+                or self._streaks.cold[index + 1] < policy.hysteresis
+            ):
+                continue
+            if not self._merge_allowed(index):
+                continue
+            pair_load = sum(
+                loads[i] if i < len(loads) else 0.0 for i in (index, index + 1)
+            )
+            if coldest is None or pair_load < coldest_load:
+                coldest, coldest_load = index, pair_load
+        if coldest is not None:
+            return ("merge", coldest)
+        return None
+
+
+class ReshardCoordinator:
+    """Owns journal segments across a handoff: open children, seal parents.
+
+    ``opener`` maps a segment id to a fresh :class:`EventJournal` (the
+    fleet runner opens ``<name>-shard<segment>.jsonl``); without one the
+    crawl is unjournaled and segment bookkeeping degenerates to no-ops.
+    Sealing writes the schema-v4 ``reshard`` record *into the parent's
+    segment* first — the sealed file's last event says where its range
+    went — then calls :meth:`EventJournal.seal`.  The OWNERSHIP lint
+    allows only this class (and ``NodeDBWriter``) to seal journals.
+    """
+
+    def __init__(
+        self, opener: Optional[Callable[[str], "EventJournal"]] = None
+    ) -> None:
+        self._opener = opener
+        #: segment id -> the open journal for that segment
+        self.open_segments: Dict[str, "EventJournal"] = {}
+
+    @property
+    def journaled(self) -> bool:
+        return self._opener is not None
+
+    def open_segment(self, segment: str) -> Optional["EventJournal"]:
+        """Open (and track) the journal for a newly live range."""
+        if self._opener is None:
+            return None
+        journal = self._opener(segment)
+        self.open_segments[segment] = journal
+        return journal
+
+    def seal_segment(
+        self,
+        telemetry: "Telemetry",
+        segment: str,
+        *,
+        action: str,
+        step: int,
+        generation: int,
+        parent: Tuple[int, int],
+        children: Sequence[Tuple[int, int]],
+    ) -> None:
+        """Write the ``reshard`` record through ``telemetry``, then seal.
+
+        ``telemetry`` must be the facade that owns the segment's journal —
+        the record lands as the segment's final event, so replay sees the
+        handoff exactly where the dial stream stops.
+        """
+        telemetry.record_reshard(
+            action=action,
+            step=step,
+            generation=generation,
+            parent=parent,
+            children=children,
+        )
+        journal = self.open_segments.pop(segment, None)
+        if journal is not None:
+            journal.seal()
+
+    def close_open_segments(self) -> None:
+        """Close every still-open segment journal (crawl shutdown)."""
+        for journal in self.open_segments.values():
+            journal.close()
+        self.open_segments.clear()

@@ -19,7 +19,7 @@ from __future__ import annotations
 import random
 import zlib
 from dataclasses import dataclass
-from typing import Optional
+from typing import Callable, Optional
 
 from repro.discovery.admission import TableAdmission
 from repro.discovery.enode import ENode, _cached_id_hash as cached_id_hash
@@ -28,6 +28,13 @@ from repro.errors import DiscoveryError
 from repro.nodefinder.database import NodeDB
 from repro.nodefinder.defense import DefenseConfig, DefenseStats
 from repro.nodefinder.records import CrawlStats
+from repro.nodefinder.reshard import (
+    DynamicShardPlan,
+    ReshardController,
+    ReshardCoordinator,
+    ReshardPolicy,
+    ShardRange,
+)
 from repro.nodefinder.shard import NodeDBWriter, ShardPlan
 from repro.resilience.breaker import BreakerState, PeerScoreboard
 from repro.simnet.clock import SECONDS_PER_DAY, SECONDS_PER_HOUR
@@ -74,6 +81,11 @@ class NodeFinderConfig:
     #: budget — see :mod:`repro.nodefinder.defense`).  None keeps the
     #: crawler byte-for-byte on its historical undefended behaviour.
     defenses: Optional[DefenseConfig] = None
+    #: elastic sharding: when set, the plan may split hot shards and merge
+    #: cold siblings mid-crawl (scripted schedule or gauge-driven with
+    #: hysteresis — see :mod:`repro.nodefinder.reshard`).  None keeps the
+    #: static :class:`~repro.nodefinder.shard.ShardPlan` byte-for-byte.
+    reshard: Optional[ReshardPolicy] = None
 
 
 class NodeFinderInstance:
@@ -87,6 +99,7 @@ class NodeFinderInstance:
         location: Location | None = None,
         telemetry: Telemetry = NULL_TELEMETRY,
         shard_journals: list[EventJournal] | None = None,
+        journal_opener: Callable[[str], EventJournal] | None = None,
     ) -> None:
         self.telemetry = telemetry
         self.world = world
@@ -129,39 +142,77 @@ class NodeFinderInstance:
         self.dial_history: dict[bytes, float] = {}
         self._started = False
         # -- sharding: partition by node-ID prefix, fold via one writer ------
-        self.shard_count = max(1, int(self.config.shards))
-        self.plan = ShardPlan(self.shard_count)
+        shards = max(1, int(self.config.shards))
+        policy = self.config.reshard
+        if journal_opener is not None and shard_journals is not None:
+            raise ValueError(
+                "journal_opener and shard_journals are mutually exclusive"
+            )
+        # a reshard policy (or segment-keyed journal opener) switches the
+        # partition to the dynamic plan; its generation-0 ranges are the
+        # static ShardPlan's exactly, so an elastic crawl that never
+        # reshards is byte-for-byte the static crawl
+        if policy is not None or journal_opener is not None:
+            self.plan: ShardPlan | DynamicShardPlan = DynamicShardPlan(shards)
+        else:
+            self.plan = ShardPlan(shards)
+        self.controller: Optional[ReshardController] = None
+        if policy is not None:
+            assert isinstance(self.plan, DynamicShardPlan)
+            self.controller = ReshardController(policy, self.plan)
+        self.coordinator = ReshardCoordinator(journal_opener)
         self.writer = NodeDBWriter(self.db, stats=self.stats, telemetry=telemetry)
         #: per-shard StaticNodes lists: node id -> next re-dial time; a node
         #: lives only in its owning shard's dict
-        self._statics: list[dict[bytes, float]] = [
-            {} for _ in range(self.shard_count)
-        ]
+        self._statics: list[dict[bytes, float]] = [{} for _ in range(shards)]
+        self._shard_clock = lambda: world.now  # noqa: E731 - the world timeline
+        #: segment id -> telemetry facade (elastic runs): keyed on the
+        #: stable segment label so facades survive positional index shifts
+        self._segment_telemetry: dict[str, Telemetry] = {}
         if shard_journals is not None:
-            if len(shard_journals) != self.shard_count:
+            if len(shard_journals) != shards:
                 raise ValueError(
-                    f"{len(shard_journals)} shard journals for "
-                    f"{self.shard_count} shards"
+                    f"{len(shard_journals)} shard journals for {shards} shards"
                 )
             # each shard journals on its own file but shares the crawl's
             # metrics registry, so counters aggregate exactly as unsharded;
             # the shard label keeps each worker's series separable
-            clock = lambda: world.now  # noqa: E731 - the world timeline
-            # the profiler and flight recorder are crawl-wide: shard facades
-            # share them so attribution and crash rings stay in one place
             self._shard_telemetry = [
-                Telemetry(
-                    registry=telemetry.registry,
-                    journal=journal,
-                    clock=clock,
-                    shard=str(index),
-                    profiler=telemetry.profiler,
-                    recorder=telemetry.recorder,
-                )
+                self._segment_facade(str(index), journal)
                 for index, journal in enumerate(shard_journals)
             ]
+        elif journal_opener is not None:
+            assert isinstance(self.plan, DynamicShardPlan)
+            self._shard_telemetry = [
+                self._segment_facade(
+                    shard_range.segment,
+                    self.coordinator.open_segment(shard_range.segment),
+                )
+                for shard_range in self.plan.ranges
+            ]
         else:
-            self._shard_telemetry = [telemetry] * self.shard_count
+            self._shard_telemetry = [telemetry] * shards
+        if isinstance(self.plan, DynamicShardPlan):
+            for shard_range, facade in zip(self.plan.ranges, self._shard_telemetry):
+                self._segment_telemetry[shard_range.segment] = facade
+
+    def _segment_facade(
+        self, shard_label: str, journal: EventJournal | None
+    ) -> Telemetry:
+        # the profiler and flight recorder are crawl-wide: shard facades
+        # share them so attribution and crash rings stay in one place
+        return Telemetry(
+            registry=self.telemetry.registry,
+            journal=journal,
+            clock=self._shard_clock,
+            shard=shard_label,
+            profiler=self.telemetry.profiler,
+            recorder=self.telemetry.recorder,
+        )
+
+    @property
+    def shard_count(self) -> int:
+        return self.plan.shards
 
     # -- defence plumbing -------------------------------------------------------
 
@@ -236,6 +287,8 @@ class NodeFinderInstance:
         clock.schedule_every(
             SECONDS_PER_HOUR, self._prune_stale, label="scanner.prune_stale"
         )
+        if isinstance(self.plan, DynamicShardPlan):
+            self._publish_plan()
 
     @property
     def day(self) -> int:
@@ -292,6 +345,17 @@ class NodeFinderInstance:
         for shard_index, batch in enumerate(batches):
             for address in batch:
                 self._dial(address, "dynamic-dial", shard_index)
+        if self.controller is not None:
+            # the tick's batch sizes are the simnet's queue-depth gauge;
+            # every dial above has already folded, so an op decided here
+            # applies with zero in-flight work (the drain is implicit)
+            ops = self.controller.observe(
+                [float(len(batch)) for batch in batches], now=now
+            )
+            for op_action, op_index in ops:
+                self._apply_reshard(op_action, op_index)
+            if ops:
+                self._publish_plan()
         self._refresh_shard_health()
 
     def _refresh_shard_health(self) -> None:
@@ -304,6 +368,90 @@ class NodeFinderInstance:
             self.telemetry.record_shard_health(
                 open_breakers=self.scoreboard.open_count
             )
+
+    # -- elastic resharding ----------------------------------------------------
+
+    def _apply_reshard(self, action: str, index: int) -> None:
+        """Apply one plan change between ticks (the simnet handoff).
+
+        The scanner is synchronous, so "drain in-flight dials" is free:
+        every dial of the triggering tick has already folded through the
+        writer.  Protocol: mutate the plan, seal the parent segment(s)
+        with the schema-v4 ``reshard`` record as their final event,
+        re-route the StaticNodes union under the new plan (each node's
+        next-dial time is preserved, so the due set of every future tick
+        — and therefore the dial set — is unchanged: the conformance
+        equivalence argument), then open the children's
+        generation-suffixed journal segments.
+        """
+        assert self.controller is not None
+        plan = self.plan
+        assert isinstance(plan, DynamicShardPlan)
+        step = self.controller.step - 1  # the observation that decided this
+        parent_facades = [self._shard_telemetry[index]]
+        if action == "split":
+            parent, children = plan.split(index)
+            parent_ranges: list[ShardRange] = [parent]
+            child_ranges = list(children)
+        else:
+            parent_facades.append(self._shard_telemetry[index + 1])
+            (left, right), child = plan.merge(index)
+            parent_ranges = [left, right]
+            child_ranges = [child]
+        generation = plan.generation
+        children_spans = [(child.lo, child.hi) for child in child_ranges]
+        for parent_range, facade in zip(parent_ranges, parent_facades):
+            self._segment_telemetry.pop(parent_range.segment, None)
+            if self.coordinator.journaled:
+                self.coordinator.seal_segment(
+                    facade,
+                    parent_range.segment,
+                    action=action,
+                    step=step,
+                    generation=generation,
+                    parent=(parent_range.lo, parent_range.hi),
+                    children=children_spans,
+                )
+            else:
+                facade.record_reshard(
+                    action=action,
+                    step=step,
+                    generation=generation,
+                    parent=(parent_range.lo, parent_range.hi),
+                    children=children_spans,
+                )
+        # re-route the StaticNodes union under the new partition; values
+        # (next-dial times) carry over untouched
+        merged_statics: dict[bytes, float] = {}
+        for statics in self._statics:
+            merged_statics.update(statics)
+        self._statics = [{} for _ in range(plan.shards)]
+        for node_id, next_dial in merged_statics.items():
+            self._statics[plan.shard_of(node_id)][node_id] = next_dial
+        for child in child_ranges:
+            if self.coordinator.journaled:
+                facade = self._segment_facade(
+                    child.segment, self.coordinator.open_segment(child.segment)
+                )
+                # each segment file is self-describing for forensics
+                facade.record_crawler_identity(self.node_id, self.name)
+            else:
+                facade = self.telemetry
+            self._segment_telemetry[child.segment] = facade
+        self._shard_telemetry = [
+            self._segment_telemetry[shard_range.segment]
+            for shard_range in plan.ranges
+        ]
+
+    def _publish_plan(self) -> None:
+        """Refresh the live-plan gauges (``nodefinder top`` renders them)."""
+        assert isinstance(self.plan, DynamicShardPlan)
+        self.telemetry.record_shard_plan(
+            [
+                (shard_range.segment, shard_range.lo, shard_range.hi)
+                for shard_range in self.plan.ranges
+            ]
+        )
 
     def _lookup(self, target: bytes) -> list[NodeAddress]:
         """Iterative FIND_NODE toward ``target`` (paper §2.1 semantics).

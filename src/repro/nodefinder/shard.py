@@ -206,13 +206,29 @@ class ShardState:
         telemetry: "Telemetry",
         breakers: "PeerScoreboard",
         max_active_dials: int,
+        segment: str = "",
     ) -> None:
         self.index = index
         self.telemetry = telemetry
         self.breakers = breakers
+        #: stable segment id (``<k>.g<gen>``) for elastic crawls; the
+        #: positional ``index`` shifts when the plan reshards, the segment
+        #: never does, so journal files and metric labels key on it
+        self.segment = segment
         #: dynamic-dial targets routed here by the discovery loop
         self.queue: asyncio.Queue = asyncio.Queue()
         #: per-shard dial-slot budget (total live concurrency is N * this)
         self.semaphore = asyncio.Semaphore(max_active_dials)
         #: node id -> (enode, next static dial time); owned by this shard
         self.static_nodes: dict = {}
+        #: set by a reshard handoff: the loop drains and exits cleanly
+        self.retired = False
+        #: last published loop lag (the reshard controller's second gauge)
+        self.last_lag = 0.0
+        #: the supervised loop task, so a handoff can await the drain
+        self.task: Optional[asyncio.Task] = None
+
+    @property
+    def label(self) -> str:
+        """The metric/journal label: segment id when elastic, else index."""
+        return self.segment or str(self.index)

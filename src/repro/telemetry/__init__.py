@@ -15,6 +15,8 @@ and zero ambient state:
 * :func:`render_prometheus` — text exposition of a registry;
 * :func:`merge_snapshots` — fold per-instance registry snapshots into
   one fleet view (aggregate sums or ``instance``-labeled series);
+* :func:`split_snapshot_by_shard` — the inverse cut: one snapshot into
+  per-shard snapshots keyed by the (generation-suffixed) shard label;
 * :func:`summarize_journal` / :func:`summarize_snapshot` — the human
   summary behind ``repro telemetry``;
 * :class:`Telemetry` — the facade instrumented code receives, bundling
@@ -42,7 +44,7 @@ from repro.telemetry.journal import (
     JournalError,
     read_events,
 )
-from repro.telemetry.merge import merge_snapshots
+from repro.telemetry.merge import merge_snapshots, split_snapshot_by_shard
 from repro.telemetry.metrics import (
     DEFAULT_BUCKETS,
     Counter,
@@ -90,6 +92,7 @@ __all__ = [
     "render_profile",
     "render_prometheus",
     "render_top",
+    "split_snapshot_by_shard",
     "summarize_journal",
     "summarize_snapshot",
 ]

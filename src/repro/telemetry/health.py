@@ -52,7 +52,18 @@ def _by_label(family: Optional[dict], label: str) -> Dict[str, float]:
 
 
 def _shard_sort_key(shard: str):
-    return (0, int(shard), shard) if shard.isdigit() else (1, 0, shard)
+    """Numeric-first ordering over plain indices and ``<k>.g<gen>`` ids.
+
+    Elastic crawls label shards by stable segment id; sorting the ``k``
+    and generation parts numerically keeps ``10.g2`` after ``2.g1``
+    instead of the lexicographic interleave.
+    """
+    if shard.isdigit():
+        return (0, int(shard), -1, shard)
+    head, sep, tail = shard.partition(".g")
+    if sep and head.isdigit() and tail.isdigit():
+        return (0, int(head), int(tail), shard)
+    return (1, 0, 0, shard)
 
 
 def _counts_line(title: str, counts: Dict[str, float]) -> str:
@@ -116,7 +127,45 @@ def render_top(snapshot: dict) -> str:
             _by_label(families.get("nodefinder_dials_total"), "outcome"),
         ),
     ]
+    plan = _plan_line(families)
+    if plan is not None:
+        lines.append(plan)
     return "\n".join(lines)
+
+
+def _plan_line(families: Dict[str, dict]) -> Optional[str]:
+    """The live shard plan, when the crawl publishes range gauges.
+
+    Elastic crawls publish ``crawler_shard_range_lo``/``_hi`` per segment
+    and flip ``crawler_shard_active`` to 0 when a reshard retires one;
+    static crawls publish none of these and the line is omitted entirely
+    (existing snapshots keep rendering byte-identically).
+    """
+    lo = _per_shard(families.get("crawler_shard_range_lo"))
+    hi = _per_shard(families.get("crawler_shard_range_hi"))
+    if not lo or not hi:
+        return None
+    active = _per_shard(families.get("crawler_shard_active"))
+    segments = [
+        segment
+        for segment in lo
+        if segment in hi and active.get(segment, 1.0) > 0
+    ]
+    # merged fleet snapshots sum gauges across instances, so a segment
+    # published by k instances carries k-fold lo/hi (and active == k);
+    # divide back down to the per-instance range before rendering
+    scale = {
+        segment: max(active.get(segment, 1.0), 1.0) for segment in segments
+    }
+    segments.sort(
+        key=lambda segment: (lo[segment] / scale[segment], _shard_sort_key(segment))
+    )
+    parts = " ".join(
+        f"{segment}=[{int(lo[segment] / scale[segment]):#06x}"
+        f",{int(hi[segment] / scale[segment]):#07x})"
+        for segment in segments
+    )
+    return f"plan: {len(segments)} live shards  {parts}"
 
 
 def render_top_lines(snapshot: dict) -> Iterable[str]:

@@ -17,7 +17,7 @@ and passes it down.
 from __future__ import annotations
 
 import time
-from typing import TYPE_CHECKING, Callable, Optional
+from typing import TYPE_CHECKING, Callable, Optional, Sequence, Tuple
 
 from repro.telemetry.journal import Event, EventJournal
 from repro.telemetry.metrics import MetricsRegistry, NullRegistry
@@ -169,6 +169,33 @@ class Telemetry:
             "journal events written since the last flush, per shard",
             ("shard",),
         )
+        # -- elastic sharding -----------------------------------------------
+        self.reshard_segments = registry_.counter(
+            "crawler_reshard_segments_total",
+            "journal segments sealed by shard handoffs, by action",
+            ("action",),
+        )
+        self.shard_range_lo = registry_.gauge(
+            "crawler_shard_range_lo",
+            "inclusive 16-bit prefix lower bound of each live shard range",
+            ("shard",),
+        )
+        self.shard_range_hi = registry_.gauge(
+            "crawler_shard_range_hi",
+            "exclusive 16-bit prefix upper bound of each live shard range",
+            ("shard",),
+        )
+        self.shard_active = registry_.gauge(
+            "crawler_shard_active",
+            "1 while a shard segment is live, 0 once retired by a reshard",
+            ("shard",),
+        )
+        self.shard_count = registry_.gauge(
+            "crawler_shard_count", "live shards in the current plan"
+        )
+        #: segments this facade last published as active, so a plan
+        #: refresh can retire the gauges of ranges that handed off
+        self._plan_segments: set = set()
         # -- discovery ------------------------------------------------------
         self.discovery_datagrams = registry_.counter(
             "discovery_datagrams_total", "raw UDP datagrams", ("direction",)
@@ -407,6 +434,51 @@ class Telemetry:
             self.shard_open_breakers.labels(shard=label).set(open_breakers)
         if journal_backlog is not None:
             self.journal_backlog.labels(shard=label).set(journal_backlog)
+
+    # -- elastic sharding ----------------------------------------------------
+
+    def record_reshard(
+        self,
+        action: str,
+        step: int,
+        generation: int,
+        parent: Tuple[int, int],
+        children: Sequence[Tuple[int, int]],
+    ) -> None:
+        """Journal a shard handoff — the sealed segment's final record.
+
+        ``parent`` is the prefix range this facade's shard owned;
+        ``children`` are the range(s) it became.  The reshard coordinator
+        calls this through the *parent segment's* telemetry immediately
+        before sealing, so replay finds the handoff exactly where the
+        segment's dial stream ends."""
+        self.reshard_segments.labels(action=action).inc()
+        self.emit(
+            "reshard",
+            action=action,
+            step=step,
+            generation=generation,
+            parent=list(parent),
+            children=[list(child) for child in children],
+        )
+
+    def record_shard_plan(
+        self, ranges: Sequence[Tuple[str, int, int]]
+    ) -> None:
+        """Publish the live plan: one (segment, lo, hi) row per range.
+
+        Ranges retired since the previous call drop to ``active = 0`` so
+        ``nodefinder top`` can render only the current partition."""
+        live = set()
+        for segment, lo, hi in ranges:
+            live.add(segment)
+            self.shard_range_lo.labels(shard=segment).set(float(lo))
+            self.shard_range_hi.labels(shard=segment).set(float(hi))
+            self.shard_active.labels(shard=segment).set(1.0)
+        for segment in self._plan_segments - live:
+            self.shard_active.labels(shard=segment).set(0.0)
+        self._plan_segments = live
+        self.shard_count.set(float(len(ranges)))
 
     # -- discovery -----------------------------------------------------------
 

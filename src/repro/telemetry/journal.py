@@ -29,6 +29,9 @@ full field tables):
 ``crawler``         (v3) the crawler's own enode identity + name
 ``table_admission`` (v3) a routing-table admission guard refused a
                     candidate: node_id, ip, subnet, reason
+``reshard``         (v4) a shard handoff sealed this journal segment:
+                    action (split|merge), step, generation, the parent
+                    prefix range and the child ranges it became
 ==================  ====================================================
 """
 
@@ -49,7 +52,11 @@ from repro.errors import ReproError
 #: v3 (adversary PR) added the ``crawler`` and ``table_admission``
 #: event types and the optional ``breaker.scope``/``breaker.subnet``
 #: fields for subnet-dimension breaker trips.
-SCHEMA_VERSION = 3
+#: v4 (elastic-sharding PR) added the ``reshard`` event type: the final
+#: record of a sealed journal segment, carrying the split/merge action,
+#: the controller step, the minted generation, and the old/new prefix
+#: ranges so replay can stitch generation-suffixed segments together.
+SCHEMA_VERSION = 4
 
 #: keys every record carries outside its event-specific fields
 _RESERVED = ("v", "type", "ts")
@@ -89,12 +96,19 @@ def _upgrade_v2(record: Dict[str, Any]) -> Dict[str, Any]:
     return record
 
 
+def _upgrade_v3(record: Dict[str, Any]) -> Dict[str, Any]:
+    """v3 → v4: purely additive — a v3 journal simply predates elastic
+    sharding and contains no ``reshard`` records; nothing to rewrite."""
+    return record
+
+
 #: migration shim: maps an old schema version to the one-step upgrade
 #: toward ``version + 1``; chained until :data:`SCHEMA_VERSION` so old
 #: journals keep replaying
 MIGRATIONS: Dict[int, Callable[[Dict[str, Any]], Dict[str, Any]]] = {
     1: _upgrade_v1,
     2: _upgrade_v2,
+    3: _upgrade_v3,
 }
 
 
@@ -159,6 +173,8 @@ class EventJournal:
         self._owns_stream = False
         self.events_written = 0
         self._unflushed = 0
+        self._sealed = False
+        self._closed = False
 
     @classmethod
     def open(cls, path: Union[str, Path]) -> "EventJournal":
@@ -167,9 +183,27 @@ class EventJournal:
         return journal
 
     def emit(self, event: Event) -> None:
+        if self._sealed:
+            raise JournalError("journal segment is sealed; no further events")
         self._stream.write(event.to_json() + "\n")
         self.events_written += 1
         self._unflushed += 1
+
+    @property
+    def sealed(self) -> bool:
+        return self._sealed
+
+    def seal(self) -> None:
+        """Permanently finish this segment: flush, close, refuse emits.
+
+        A reshard handoff seals the parent shard's segment right after
+        the ``reshard`` record is written, so the file on disk is a
+        complete, immutable account of that range's lifetime.  Only the
+        reshard coordinator (or the ``NodeDBWriter``) may call this —
+        the OWNERSHIP lint family enforces it.
+        """
+        self._sealed = True
+        self.close()
 
     @property
     def backlog(self) -> int:
@@ -181,6 +215,11 @@ class EventJournal:
         self._unflushed = 0
 
     def close(self) -> None:
+        # idempotent: a sealed segment is already closed when the crawl's
+        # shutdown path sweeps every journal it knows about
+        if self._closed:
+            return
+        self._closed = True
         self.flush()
         if self._owns_stream:
             self._stream.close()

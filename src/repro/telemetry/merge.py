@@ -27,6 +27,55 @@ def _series_key(labels: Dict[str, str]) -> _LabelKey:
     return tuple(sorted(labels.items()))
 
 
+def split_snapshot_by_shard(snapshot: dict, shard_label: str = "shard") -> dict:
+    """Split one registry snapshot into per-shard snapshots.
+
+    Returns ``{shard value: snapshot}`` over every family carrying the
+    shard label, with that label stripped from the split series — so each
+    shard's snapshot can be re-merged via :func:`merge_snapshots` under a
+    per-shard instance name.  Elastic crawls label shards with their
+    stable segment id (``<k>.g<gen>``), which is what keeps the merged
+    names (``<name>-shard<k>.g<gen>``) collision-free after a split
+    re-uses positional indices.  Series with an empty shard value (the
+    crawl-wide facade's row) are not attributed to any shard.
+    """
+    shards: Dict[str, dict] = {}
+    families_by_shard: Dict[str, Dict[str, dict]] = {}
+    for family in snapshot.get("metrics", []):
+        labelnames = list(family.get("labelnames", []))
+        if shard_label not in labelnames:
+            continue
+        stripped = [name for name in labelnames if name != shard_label]
+        for series in family.get("series", []):
+            shard = str(series["labels"].get(shard_label, ""))
+            if not shard:
+                continue
+            out = shards.setdefault(shard, {"metrics": []})
+            families = families_by_shard.setdefault(shard, {})
+            target = families.get(family["name"])
+            if target is None:
+                target = {
+                    "name": family["name"],
+                    "type": family["type"],
+                    "help": family["help"],
+                    "labelnames": stripped,
+                    "series": [],
+                }
+                families[family["name"]] = target
+                out["metrics"].append(target)
+            labels = {
+                key: value
+                for key, value in series["labels"].items()
+                if key != shard_label
+            }
+            copied = {key: value for key, value in series.items() if key != "labels"}
+            if "buckets" in copied:
+                copied["buckets"] = [list(bucket) for bucket in copied["buckets"]]
+            copied["labels"] = labels
+            target["series"].append(copied)
+    return dict(sorted(shards.items()))
+
+
 def _merge_series(target: dict, source: dict, family: str) -> None:
     if "value" in source:
         target["value"] = target.get("value", 0.0) + source["value"]
@@ -60,7 +109,16 @@ def merge_snapshots(
                 f"{len(snapshots)} snapshots but {len(names)} instance names"
             )
         if len(set(names)) != len(names):
-            raise MetricError("duplicate instance names would collide")
+            # name the duplicates: a fleet labelling elastic shards by
+            # positional index (instead of the generation-suffixed
+            # segment id) collides here, and the message must say where
+            duplicated = sorted(
+                {name for name in names if list(names).count(name) > 1}
+            )
+            raise MetricError(
+                "duplicate instance names would collide: "
+                + ", ".join(repr(name) for name in duplicated)
+            )
 
     families: Dict[str, dict] = {}
     order: List[str] = []

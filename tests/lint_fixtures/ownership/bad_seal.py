@@ -1,0 +1,21 @@
+"""OWNERSHIP firing fixture: journal segments sealed outside the handoff.
+
+``EventJournal.seal`` ends a segment's lifetime — only the reshard
+coordinator (or the ``NodeDBWriter``) may call it.  A shard loop sealing
+its own journal, or a helper function sealing one it was handed, is a
+finding; ordinary ``close()`` / ``flush()`` calls are not tracked.
+"""
+
+
+class ShardLoop:
+    def __init__(self, journal: "EventJournal"):
+        self.journal = journal
+
+    def retire(self):
+        # a dial loop must hand off to the coordinator, not self-seal
+        self.journal.seal()
+
+
+def finish_segment(journal: "EventJournal"):
+    journal.flush()  # untracked: flushing is anyone's to do
+    journal.seal()

@@ -1,0 +1,28 @@
+"""OWNERSHIP clean fixture: only the handoff path seals journal segments.
+
+``ReshardCoordinator`` is in ``EventJournal``'s writer set, so its seal
+is legal; everyone else only opens, emits to, flushes, or closes
+journals — none of which are tracked mutators.
+"""
+
+
+class ReshardCoordinator:
+    def __init__(self, journal: "EventJournal"):
+        self.journal = journal
+
+    def seal_segment(self):
+        # the declared writer: sealing here is the handoff protocol
+        self.journal.seal()
+
+
+class ShardLoop:
+    def __init__(self, journal: "EventJournal", coordinator: ReshardCoordinator):
+        self.journal = journal
+        self.coordinator = coordinator
+
+    def emit_dial(self, event):
+        self.journal.emit(event)
+
+    def shutdown(self):
+        self.journal.flush()
+        self.journal.close()  # closing is lifecycle, sealing is ownership

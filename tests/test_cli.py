@@ -96,6 +96,30 @@ class TestCommands:
         assert (telemetry_dir / "metrics.json").exists()
         assert (telemetry_dir / "nodefinder-0.jsonl").exists()
 
+    def test_simulate_elastic_writes_generation_suffixed_journals(
+        self, capsys, tmp_path
+    ):
+        telemetry_dir = tmp_path / "elastic"
+        assert main([
+            "simulate", "--nodes", "120", "--days", "1",
+            "--instances", "1", "--discovery-interval", "300",
+            "--shards", "2", "--max-shards", "4",
+            "--telemetry-dir", str(telemetry_dir),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "fleet telemetry" in out
+        # elastic runs journal per segment — generation 0 files always
+        # exist, and every journal name carries a .g<gen> suffix
+        journals = sorted(p.name for p in telemetry_dir.glob("*.jsonl"))
+        assert "nodefinder-0-shard0.g0.jsonl" in journals
+        assert "nodefinder-0-shard1.g0.jsonl" in journals
+        assert all(".g" in name for name in journals)
+        argv = ["analyze"]
+        for path in sorted(telemetry_dir.glob("*.jsonl")):
+            argv += ["--journal", str(path)]
+        assert main(argv) == 0
+        assert "DEVp2p services (Table 3)" in capsys.readouterr().out
+
     def test_analyze_requires_exactly_one_input(self, capsys, tmp_path):
         assert main(["analyze"]) == 2
         assert "analyze:" in capsys.readouterr().err

@@ -103,6 +103,64 @@ class TestRenderTop:
         assert "breaker transitions: none" in text
 
 
+class TestPlanLine:
+    """`top` shows the live (possibly resharded) plan — and only then."""
+
+    def test_static_snapshot_has_no_plan_line(self):
+        assert "plan:" not in render_top(sample_snapshot())
+
+    def test_plan_line_lists_live_segments_by_range(self):
+        telemetry = Telemetry()
+        telemetry.record_shard_plan(
+            [("0.g0", 0, 32768), ("1.g0", 32768, 65536)]
+        )
+        # a split retires 0.g0 and replaces it with two children
+        telemetry.record_shard_plan(
+            [
+                ("0.g1", 0, 16384),
+                ("1.g1", 16384, 32768),
+                ("1.g0", 32768, 65536),
+            ]
+        )
+        text = render_top(telemetry.registry.snapshot())
+        [plan] = [line for line in text.splitlines() if line.startswith("plan:")]
+        assert plan == (
+            "plan: 3 live shards  "
+            "0.g1=[0x0000,0x04000) "
+            "1.g1=[0x4000,0x08000) "
+            "1.g0=[0x8000,0x10000)"
+        )
+        assert "0.g0=" not in plan  # retired segments drop off the plan
+
+    def test_merged_fleet_snapshot_renders_per_instance_ranges(self):
+        """merge_snapshots sums gauges, so a 2-instance fleet doubles the
+        range gauges (and ``active`` counts the publishers); the renderer
+        must divide back down instead of printing 2x-wide ranges."""
+        from repro.telemetry import merge_snapshots
+
+        snapshots = []
+        for _ in range(2):
+            telemetry = Telemetry()
+            telemetry.record_shard_plan(
+                [("0.g0", 0, 32768), ("1.g0", 32768, 65536)]
+            )
+            snapshots.append(telemetry.registry.snapshot())
+        text = render_top(merge_snapshots(snapshots))
+        [plan] = [line for line in text.splitlines() if line.startswith("plan:")]
+        assert plan == (
+            "plan: 2 live shards  "
+            "0.g0=[0x0000,0x08000) "
+            "1.g0=[0x8000,0x10000)"
+        )
+
+    def test_segment_ids_sort_numerically(self):
+        from repro.telemetry.health import _shard_sort_key
+
+        labels = ["10.g2", "2.g1", "2.g10", "2.g2", "3", "10", "-"]
+        ordered = sorted(labels, key=_shard_sort_key)
+        assert ordered == ["2.g1", "2.g2", "2.g10", "3", "10", "10.g2", "-"]
+
+
 class TestSimIntegration:
     def test_sharded_sim_crawl_publishes_health(self, tmp_path):
         world = SimWorld(
