@@ -291,31 +291,60 @@ class ReshardController:
         return ops
 
     def _scripted_ops(self, step: int) -> List[Tuple[str, int]]:
+        """Scripted ops due at ``step``, each feasible when applied in order.
+
+        The caller applies the returned ops sequentially, mutating the
+        plan between them — so a second same-step op must be validated
+        against the plan *as its predecessors leave it*, not the plan as
+        it stands now (two ``merge 0`` ops at 2 shards would otherwise
+        both look feasible and the second would raise mid-crawl; same
+        for repeated splits sneaking past ``max_shards``).  A shadow
+        copy of the range widths replays each accepted op, so every op
+        returned is feasible at its apply point.  Infeasible scripted
+        ops are skipped, not raised: Hypothesis drives random schedules
+        and the crawl must simply go on.
+        """
         ops: List[Tuple[str, int]] = []
+        widths = [shard_range.width for shard_range in self.plan.ranges]
         while (
             self._schedule_pos < len(self._schedule)
             and self._schedule[self._schedule_pos].step <= step
         ):
             op = self._schedule[self._schedule_pos]
             self._schedule_pos += 1
-            if op.action == "split" and self._split_allowed(op.index):
+            if op.action == "split" and self._split_feasible(widths, op.index):
+                width = widths[op.index]
+                # plan.split halves at (lo + hi) // 2: left gets floor(w/2)
+                widths[op.index : op.index + 1] = [width // 2, width - width // 2]
                 ops.append(("split", op.index))
-            elif op.action == "merge" and self._merge_allowed(op.index):
+            elif op.action == "merge" and self._merge_feasible(widths, op.index):
+                widths[op.index : op.index + 2] = [
+                    widths[op.index] + widths[op.index + 1]
+                ]
                 ops.append(("merge", op.index))
-            # infeasible scripted ops are skipped, not raised: Hypothesis
-            # drives random schedules and the crawl must simply go on
         return ops
 
-    def _split_allowed(self, index: int) -> bool:
+    def _split_feasible(self, widths: Sequence[int], index: int) -> bool:
         return (
-            self.plan.shards < self.policy.max_shards
-            and self.plan.can_split(index)
+            len(widths) < self.policy.max_shards
+            and 0 <= index < len(widths)
+            and widths[index] >= 2
+        )
+
+    def _merge_feasible(self, widths: Sequence[int], index: int) -> bool:
+        return (
+            len(widths) > self.policy.min_shards
+            and 0 <= index < len(widths) - 1
+        )
+
+    def _split_allowed(self, index: int) -> bool:
+        return self._split_feasible(
+            [shard_range.width for shard_range in self.plan.ranges], index
         )
 
     def _merge_allowed(self, index: int) -> bool:
-        return (
-            self.plan.shards > self.policy.min_shards
-            and self.plan.can_merge(index)
+        return self._merge_feasible(
+            [shard_range.width for shard_range in self.plan.ranges], index
         )
 
     def _auto_decide(

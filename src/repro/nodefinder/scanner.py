@@ -148,6 +148,15 @@ class NodeFinderInstance:
             raise ValueError(
                 "journal_opener and shard_journals are mutually exclusive"
             )
+        if policy is not None and shard_journals is not None:
+            # a reshard would seal parents and open generation-suffixed
+            # children, but a fixed journal list can't grow segments:
+            # post-reshard events would silently stop being journaled
+            # per shard and replay_journals could not reconstruct the db
+            raise ValueError(
+                "elastic crawls journal per segment: pass journal_opener, "
+                "not a fixed shard_journals list"
+            )
         # a reshard policy (or segment-keyed journal opener) switches the
         # partition to the dynamic plan; its generation-0 ranges are the
         # static ShardPlan's exactly, so an elastic crawl that never

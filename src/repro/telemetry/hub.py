@@ -477,6 +477,12 @@ class Telemetry:
             self.shard_active.labels(shard=segment).set(1.0)
         for segment in self._plan_segments - live:
             self.shard_active.labels(shard=segment).set(0.0)
+            # zero the range gauges too: merge_snapshots sums across
+            # instances, so a stale lo/hi left by an instance that retired
+            # this segment would skew the rendered range of any instance
+            # still publishing it (active counts only live publishers)
+            self.shard_range_lo.labels(shard=segment).set(0.0)
+            self.shard_range_hi.labels(shard=segment).set(0.0)
         self._plan_segments = live
         self.shard_count.set(float(len(ranges)))
 

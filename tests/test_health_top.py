@@ -153,6 +153,45 @@ class TestPlanLine:
             "1.g0=[0x8000,0x10000)"
         )
 
+    def test_retired_segment_gauges_do_not_skew_fleet_plan(self):
+        """Retiring a segment zeroes its range gauges, not just active.
+        A fleet where one instance resharded while another still runs
+        the old plan sums gauges across instances on merge; a stale
+        lo/hi left behind by the resharded instance (which contributes 0
+        to ``active``) would widen the still-live publisher's range."""
+        from repro.telemetry import merge_snapshots
+
+        resharded = Telemetry()
+        resharded.record_shard_plan(
+            [("0.g0", 0, 32768), ("1.g0", 32768, 65536)]
+        )
+        resharded.record_shard_plan(
+            [
+                ("0.g1", 0, 16384),
+                ("1.g1", 16384, 32768),
+                ("1.g0", 32768, 65536),
+            ]
+        )
+        behind = Telemetry()
+        behind.record_shard_plan(
+            [("0.g0", 0, 32768), ("1.g0", 32768, 65536)]
+        )
+        text = render_top(
+            merge_snapshots(
+                [resharded.registry.snapshot(), behind.registry.snapshot()]
+            )
+        )
+        [plan] = [line for line in text.splitlines() if line.startswith("plan:")]
+        # 0.g0 renders behind's live [0x0000,0x08000) — not doubled by the
+        # resharded instance's stale gauges; 1.g0 (2 publishers) halves
+        assert plan == (
+            "plan: 4 live shards  "
+            "0.g0=[0x0000,0x08000) "
+            "0.g1=[0x0000,0x04000) "
+            "1.g1=[0x4000,0x08000) "
+            "1.g0=[0x8000,0x10000)"
+        )
+
     def test_segment_ids_sort_numerically(self):
         from repro.telemetry.health import _shard_sort_key
 

@@ -44,11 +44,12 @@ from repro.nodefinder.fleet import run_fleet
 from repro.nodefinder.live import LiveConfig, LiveNodeFinder
 from repro.nodefinder.reshard import (
     DynamicShardPlan,
+    ReshardController,
     ReshardError,
     ReshardOp,
     ReshardPolicy,
 )
-from repro.nodefinder.scanner import NodeFinderConfig
+from repro.nodefinder.scanner import NodeFinderConfig, NodeFinderInstance
 from repro.nodefinder.shard import PREFIX_SPACE, ShardPlan
 from repro.simnet.node import DialOutcome, DialResult
 from repro.simnet.population import PopulationConfig
@@ -228,6 +229,106 @@ class TestDynamicShardPlan:
             narrow.split(0)
         with pytest.raises(ReshardError):
             narrow.split(0)
+
+
+class TestControllerSameStepOps:
+    """Several scripted ops can share a step, and the crawler applies
+    them sequentially — so each returned op must be feasible against the
+    plan *as mutated by its predecessors*.  Regression: a second
+    same-step ``merge 0`` at 2 shards used to pass validation against
+    the pre-mutation plan and raise :class:`ReshardError` (or IndexError
+    in the scanner's handoff) at apply time, crashing the crawl tick.
+    """
+
+    @staticmethod
+    def _apply(plan: DynamicShardPlan, ops) -> None:
+        for action, index in ops:
+            if action == "split":
+                plan.split(index)
+            else:
+                plan.merge(index)
+
+    def test_second_same_step_merge_is_skipped(self):
+        plan = DynamicShardPlan(2)
+        controller = ReshardController(
+            ReshardPolicy(
+                schedule=(
+                    ReshardOp(step=0, action="merge", index=0),
+                    ReshardOp(step=0, action="merge", index=0),
+                )
+            ),
+            plan,
+        )
+        ops = controller.observe([0.0, 0.0])
+        assert ops == [("merge", 0)]
+        self._apply(plan, ops)  # must not raise
+        assert plan.shards == 1
+
+    def test_same_step_splits_respect_max_shards(self):
+        plan = DynamicShardPlan(2)
+        controller = ReshardController(
+            ReshardPolicy(
+                max_shards=3,
+                schedule=tuple(
+                    ReshardOp(step=0, action="split", index=0) for _ in range(3)
+                ),
+            ),
+            plan,
+        )
+        ops = controller.observe([0.0, 0.0])
+        assert ops == [("split", 0)]
+        self._apply(plan, ops)
+        assert plan.shards == 3
+
+    def test_feasible_same_step_sequence_applies_cleanly(self):
+        # a split + split + merge chain over shifting indices: every op
+        # is feasible at its apply point, so all three come back
+        plan = DynamicShardPlan(2)
+        controller = ReshardController(
+            ReshardPolicy(
+                max_shards=4,
+                schedule=(
+                    ReshardOp(step=0, action="split", index=0),
+                    ReshardOp(step=0, action="split", index=2),
+                    ReshardOp(step=0, action="merge", index=1),
+                ),
+            ),
+            plan,
+        )
+        ops = controller.observe([0.0, 0.0])
+        assert ops == [("split", 0), ("split", 2), ("merge", 1)]
+        self._apply(plan, ops)  # must not raise
+        assert plan.shards == 3
+
+    def test_duplicate_same_step_ops_crawl_survives(
+        self, small_static, tmp_path_factory
+    ):
+        # end-to-end: the simnet tick applies the controller's ops; a
+        # schedule with an infeasible duplicate must not crash the crawl
+        policy = ReshardPolicy(
+            schedule=(
+                ReshardOp(step=1, action="merge", index=0),
+                ReshardOp(step=1, action="merge", index=0),
+            )
+        )
+        fleet, _ = _small_crawl(policy, tmp_path_factory.mktemp("dup-ops"))
+        [baseline] = small_static[0].instances
+        [elastic] = fleet.instances
+        assert len(elastic.db) == len(baseline.db)
+
+
+class TestElasticJournalGuards:
+    def test_shard_journals_rejected_with_reshard_policy(self):
+        # mirrors LiveNodeFinder's guard: a fixed journal list cannot
+        # grow generation-suffixed segments, so post-reshard events
+        # would silently drop out of the per-shard journals
+        journals = [EventJournal(io.StringIO()) for _ in range(2)]
+        with pytest.raises(ValueError, match="journal_opener"):
+            NodeFinderInstance(
+                _world(nodes=5, days=0.1),
+                NodeFinderConfig(shards=2, reshard=ReshardPolicy()),
+                shard_journals=journals,
+            )
 
 
 class TestJournalSeal:
