@@ -12,6 +12,8 @@ RLPx depends on Keccak-256 in four places: the discovery distance metric
 
 from __future__ import annotations
 
+import struct
+
 _MASK = (1 << 64) - 1
 
 _ROUND_CONSTANTS = (
@@ -78,6 +80,8 @@ def keccak_f1600_reference(state: list[int]) -> list[int]:
     return a
 
 
+from repro.crypto._keccak_f import HAVE_BATCH as _HAVE_BATCH  # noqa: E402
+from repro.crypto._keccak_f import keccak_f1600_batch  # noqa: E402
 from repro.crypto._keccak_f import keccak_f1600_unrolled as keccak_f1600  # noqa: E402
 
 
@@ -113,33 +117,36 @@ class KeccakSponge:
 
     def _absorb(self, block: bytes) -> None:
         state = self._state
-        for i in range(self.rate // 8):
-            state[i] ^= int.from_bytes(block[8 * i : 8 * i + 8], "little")
+        for i, lane in enumerate(struct.unpack(self._lane_fmt, block)):
+            state[i] ^= lane
         self._state = keccak_f1600(state)
+
+    @property
+    def _lane_fmt(self) -> str:
+        return f"<{self.rate // 8}Q"
 
     def digest(self) -> bytes:
         """Return the digest of everything absorbed so far (non-destructive)."""
-        pending = bytearray(self._buffer)
-        pending.append(self.pad_byte)
-        while len(pending) % self.rate != 0:
-            pending.append(0)
-        pending[-1] ^= 0x80
+        pad_len = self.rate - len(self._buffer) % self.rate
+        if pad_len == 1:
+            padding = bytes([self.pad_byte ^ 0x80])
+        else:
+            padding = bytes([self.pad_byte]) + b"\x00" * (pad_len - 2) + b"\x80"
+        pending = self._buffer + padding
         state = list(self._state)
+        lane_fmt = self._lane_fmt
+        lanes_per_block = self.rate // 8
         for offset in range(0, len(pending), self.rate):
-            block = bytes(pending[offset : offset + self.rate])
-            for i in range(self.rate // 8):
-                state[i] ^= int.from_bytes(block[8 * i : 8 * i + 8], "little")
+            for i, lane in enumerate(
+                struct.unpack_from(lane_fmt, pending, offset)
+            ):
+                state[i] ^= lane
             state = keccak_f1600(state)
         out = bytearray()
         while len(out) < self.output_bytes:
-            for lane in state[: self.rate // 8]:
-                out += lane.to_bytes(8, "little")
-                if len(out) >= self.output_bytes:
-                    break
-            else:
+            out += struct.pack(lane_fmt, *state[:lanes_per_block])
+            if len(out) < self.output_bytes:
                 state = keccak_f1600(state)
-                continue
-            break
         return bytes(out[: self.output_bytes])
 
     def hexdigest(self) -> str:
@@ -161,9 +168,59 @@ class Keccak256(KeccakSponge):
         return clone
 
 
+# Padding suffix for every single-block input length (rate 136, pad 0x01):
+# append 0x01, zero-fill to the rate, XOR 0x80 into the final byte.  At
+# length 135 the pad byte and the 0x80 domain bit share one byte (0x81).
+_PAD_136 = tuple(
+    b"\x81" if n == 135 else b"\x01" + b"\x00" * (134 - n) + b"\x80"
+    for n in range(136)
+)
+_ZERO_CAPACITY = [0] * 8  # lanes 17..24 (the 512-bit capacity) start zero
+
+
 def keccak256(data: bytes) -> bytes:
-    """One-shot Keccak-256 digest of ``data``."""
+    """One-shot Keccak-256 digest of ``data``.
+
+    Inputs under one rate block (136 bytes) — node-ID hashes, distance
+    targets, synthetic block hashes: every hash on the simulation's hot
+    path — skip the streaming sponge: pad, one permutation, pack.
+    """
+    size = len(data)
+    if size < 136:
+        state = list(struct.unpack("<17Q", data + _PAD_136[size]))
+        state += _ZERO_CAPACITY
+        state = keccak_f1600(state)
+        return struct.pack("<4Q", state[0], state[1], state[2], state[3])
     return Keccak256(data).digest()
+
+
+def keccak256_batch(payloads: list[bytes]) -> list[bytes]:
+    """Keccak-256 over many short messages in one vectorised permutation.
+
+    Amortises the pure-python round loop across the whole batch via the
+    numpy-backed :func:`keccak_f1600_batch` — the bulk memo warm-up path
+    (synthetic-chain hashes).  Falls back to per-message :func:`keccak256`
+    when numpy is unavailable or any payload spans more than one block;
+    results are byte-identical either way.
+    """
+    payloads = list(payloads)
+    if not payloads:
+        return []
+    if not _HAVE_BATCH or any(len(p) >= 136 for p in payloads):
+        return [keccak256(p) for p in payloads]
+    import numpy as np
+
+    count = len(payloads)
+    blocks = b"".join(p + _PAD_136[len(p)] for p in payloads)
+    lanes = np.frombuffer(blocks, dtype="<u8").reshape(count, 17)
+    state = [lanes[:, i].astype(np.uint64, copy=True) for i in range(17)]
+    state += [np.zeros(count, dtype=np.uint64) for _ in range(8)]
+    state = keccak_f1600_batch(state)
+    out = np.empty((count, 4), dtype="<u8")
+    for i in range(4):
+        out[:, i] = state[i]
+    raw = out.tobytes()
+    return [raw[i * 32 : (i + 1) * 32] for i in range(count)]
 
 
 def keccak512(data: bytes) -> bytes:

@@ -40,6 +40,22 @@ _DATETIME_BANNED = {
 
 _ENTROPY_BANNED = {"os.urandom", "uuid.uuid1", "uuid.uuid4"}
 
+#: heap-mutation primitives that implement an event queue.  All sim
+#: scheduling must go through the one ``SimClock`` so the equivalence
+#: harness (tests/test_clock_equivalence.py) covers every event source;
+#: a private ``heapq`` queue is an untested second scheduler.  Read-only
+#: helpers (``nsmallest``/``nlargest``/``merge``) stay allowed.
+_HEAPQ_SCHEDULING = {
+    "heapq.heappush",
+    "heapq.heappop",
+    "heapq.heapify",
+    "heapq.heapreplace",
+    "heapq.heappushpop",
+}
+
+#: the one module allowed to own a heap: the scheduler itself
+_SCHEDULER_MODULE = ("simnet", "clock.py")
+
 
 @register
 class SimDeterminism(Rule):
@@ -47,25 +63,30 @@ class SimDeterminism(Rule):
     name = "sim-determinism"
     description = (
         "simnet/chain code must not read ambient nondeterminism (module-level "
-        "random.*, wall clocks, datetime.now, os.urandom); thread a seeded "
-        "random.Random and the SimClock instead"
+        "random.*, wall clocks, datetime.now, os.urandom) or build private "
+        "heapq event queues; thread a seeded random.Random and the SimClock "
+        "instead"
     )
     scope = ("simnet", "chain")
 
     def check(self, module: ModuleSource) -> Iterator[Finding]:
         aliases = import_aliases(module.tree)
+        parts = module.path.parts
+        is_scheduler = (
+            _SCHEDULER_MODULE[0] in parts and parts[-1] == _SCHEDULER_MODULE[1]
+        )
         for node in ast.walk(module.tree):
             if not isinstance(node, ast.Call):
                 continue
             target = resolve_call(node.func, aliases)
             if target is None:
                 continue
-            message = self._classify(target)
+            message = self._classify(target, is_scheduler)
             if message is not None:
                 yield self.finding(module, node.lineno, node.col_offset, message)
 
     @staticmethod
-    def _classify(target: str) -> str | None:
+    def _classify(target: str, is_scheduler: bool = False) -> str | None:
         if target.startswith("random."):
             tail = target.split(".", 1)[1]
             if tail.split(".")[0] not in _RANDOM_ALLOWED:
@@ -87,5 +108,11 @@ class SimDeterminism(Rule):
             return (
                 f"OS-entropy call {target}() in sim code; draw from the seeded "
                 "random.Random instead"
+            )
+        if target in _HEAPQ_SCHEDULING and not is_scheduler:
+            return (
+                f"direct heap scheduling {target}() in sim code; schedule "
+                "events through the SimClock so the scheduler-equivalence "
+                "harness covers them (only repro/simnet/clock.py owns a heap)"
             )
         return None

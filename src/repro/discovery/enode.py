@@ -25,6 +25,12 @@ def _cached_id_hash(node_id: bytes) -> bytes:
     return keccak256(node_id)
 
 
+@lru_cache(maxsize=262_144)
+def cached_id_hash_int(node_id: bytes) -> int:
+    """The DHT address of a node ID as an integer, for XOR-distance keys."""
+    return int.from_bytes(_cached_id_hash(node_id), "big")
+
+
 @dataclass(frozen=True)
 class ENode:
     """An addressable node: 64-byte node ID plus IP and ports."""

@@ -16,13 +16,18 @@ as discrete events on the shared world clock:
 
 from __future__ import annotations
 
+import heapq
 import random
 import zlib
 from dataclasses import dataclass
 from typing import Callable, Optional
 
 from repro.discovery.admission import TableAdmission
-from repro.discovery.enode import ENode, _cached_id_hash as cached_id_hash
+from repro.discovery.enode import (
+    ENode,
+    _cached_id_hash as cached_id_hash,
+    cached_id_hash_int,
+)
 from repro.discovery.routing import RoutingTable
 from repro.errors import DiscoveryError
 from repro.nodefinder.database import NodeDB
@@ -471,9 +476,10 @@ class NodeFinderInstance:
         """
         target_hash = cached_id_hash(target)
         target_int = int.from_bytes(target_hash, "big")
+        id_int = cached_id_hash_int
 
         def distance(address: NodeAddress) -> int:
-            return int.from_bytes(cached_id_hash(address.node_id), "big") ^ target_int
+            return id_int(address.node_id) ^ target_int
 
         seen: dict[bytes, NodeAddress] = {}
         for enode in self.table.closest_in_buckets(target_hash, 16):
@@ -483,9 +489,14 @@ class NodeFinderInstance:
         queried: set[bytes] = set()
         results: dict[bytes, NodeAddress] = {}
         for _ in range(self.config.lookup_rounds):
-            candidates = sorted(
-                (a for a in seen.values() if a.node_id not in queried), key=distance
-            )[:ALPHA]
+            # nsmallest == sorted(...)[:ALPHA] but only heapifies ALPHA
+            # entries — the round scans |seen| addresses, it must not
+            # fully sort them
+            candidates = heapq.nsmallest(
+                ALPHA,
+                (a for a in seen.values() if a.node_id not in queried),
+                key=distance,
+            )
             if not candidates:
                 break
             progressed = False

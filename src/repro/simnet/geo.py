@@ -179,6 +179,39 @@ class GeoModel:
         jitter = rng.lognormvariate(-4.0, 0.8)  # median ~18ms heavy tail
         return base + last_mile + jitter
 
+    def rtt_batch(
+        self,
+        origin: Location,
+        destinations: list[Location],
+        rng: random.Random | None = None,
+    ) -> list[float]:
+        """RTTs from one origin to many destinations.
+
+        Draw-for-draw identical to calling :meth:`rtt` once per
+        destination in order — the world's deliver loop batches a whole
+        tick's latencies through one call without moving the RNG stream,
+        paying the method/lookup overhead once instead of per node.
+        """
+        rng = rng or self._rng
+        origin_region = origin.region
+        origin_cloud = origin.is_cloud
+        region_rtt = REGION_RTT
+        rand = rng.random
+        lognorm = rng.lognormvariate
+        out: list[float] = []
+        append = out.append
+        for dest in destinations:
+            base = region_rtt.get((origin_region, dest.region)) or region_rtt.get(
+                (dest.region, origin_region), 0.150
+            )
+            last_mile = 0.0
+            if not origin_cloud:
+                last_mile += 0.010 + rand() * 0.030
+            if not dest.is_cloud:
+                last_mile += 0.010 + rand() * 0.030
+            append(base + last_mile + lognorm(-4.0, 0.8))
+        return out
+
     def country_histogram(self, locations: list[Location]) -> dict[str, float]:
         """Fraction of nodes per country (the Figure 12 view)."""
         counts: dict[str, int] = {}

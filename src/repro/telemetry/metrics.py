@@ -169,12 +169,17 @@ class Metric:
         return self.child_class(labels)
 
     def labels(self, **labels: str):
-        if set(labels) != set(self.labelnames):
+        # hot path: build the key directly; a KeyError (missing label) or
+        # length mismatch (extra label) falls through to the same error
+        try:
+            key = tuple(str(labels[name]) for name in self.labelnames)
+        except KeyError:
+            key = None
+        if key is None or len(labels) != len(self.labelnames):
             raise MetricError(
                 f"{self.name} expects labels {self.labelnames}, got "
                 f"{tuple(sorted(labels))}"
             )
-        key = tuple(str(labels[name]) for name in self.labelnames)
         child = self._children.get(key)
         if child is None:
             child = self._make_child(tuple(zip(self.labelnames, key)))

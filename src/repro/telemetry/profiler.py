@@ -129,12 +129,22 @@ class Profiler:
         self.stats: Dict[str, ProfileStat] = {}
         self._stack: List[_Scope] = []
         self._entries = 0
+        # exited scopes are recycled: the crawl opens one scope per journal
+        # append / dial / fold, and the allocator shows up at that rate
+        self._pool: List[_Scope] = []
 
     def scope(self, name: str) -> _Scope:
         """Open a scoped timer; use as ``with profiler.scope("x"): ...``."""
         self._entries += 1
         timed = self.sample_every == 1 or self._entries % self.sample_every == 0
-        scope = _Scope(self, name, self.clock() if timed else None)
+        pool = self._pool
+        if pool:
+            scope = pool.pop()
+            scope.name = name
+            scope._start = self.clock() if timed else None
+            scope._child_time = 0.0
+        else:
+            scope = _Scope(self, name, self.clock() if timed else None)
         self._stack.append(scope)
         return scope
 
@@ -150,6 +160,7 @@ class Profiler:
             stat = self.stats[scope.name] = ProfileStat(scope.name)
         stat.calls += 1
         if scope._start is None:
+            self._pool.append(scope)
             return
         duration = self.clock() - scope._start
         stat.total += duration
@@ -160,6 +171,7 @@ class Profiler:
             parent = self._stack[-1]
             if parent._start is not None:
                 parent._child_time += duration
+        self._pool.append(scope)
 
     @property
     def entries(self) -> int:

@@ -1,0 +1,24 @@
+"""Fixture: a private heapq event queue in sim code — must fire SIM-DET."""
+
+import heapq
+from heapq import heappush
+
+
+class ShadowScheduler:
+    """A second event loop the equivalence harness never sees."""
+
+    def __init__(self):
+        self.queue = []
+
+    def schedule(self, when, callback):
+        heappush(self.queue, (when, callback))
+
+    def requeue(self, when, callback):
+        return heapq.heapreplace(self.queue, (when, callback))
+
+    def pop(self):
+        return heapq.heappop(self.queue)
+
+    def rebuild(self, entries):
+        self.queue = list(entries)
+        heapq.heapify(self.queue)

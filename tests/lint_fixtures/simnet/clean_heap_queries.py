@@ -1,0 +1,19 @@
+"""Fixture: read-only heapq helpers in sim code — must stay clean.
+
+``nsmallest``/``nlargest``/``merge`` select from a snapshot without
+maintaining a live queue, so they are not scheduling primitives.
+"""
+
+import heapq
+
+
+def closest(candidates, key):
+    return heapq.nsmallest(16, candidates, key=key)
+
+
+def busiest(nodes, key):
+    return heapq.nlargest(4, nodes, key=key)
+
+
+def interleave(first, second):
+    return list(heapq.merge(first, second))

@@ -224,6 +224,24 @@ class TestSyntheticChain:
         assert chain.height == 105
         assert chain.best_hash != old_best
 
+    def test_warm_heights_matches_lazy_hashes(self):
+        from repro.chain.synthetic import _HASH_MEMO
+
+        chain = SyntheticChain("mainnet", height=5_000_000)
+        lazy = {n: chain.block_hash(n) for n in (17, 4_999_913, 4_999_999)}
+        # drop the memo entries so warm_heights recomputes them in batch
+        for n in lazy:
+            _HASH_MEMO.pop((chain._seed, n), None)
+        warmed = chain.warm_heights([17, 4_999_913, 4_999_999, 0, -5])
+        assert warmed == 3  # genesis/negative heights never hash
+        for n, expected in lazy.items():
+            assert chain.block_hash(n) == expected
+
+    def test_warm_heights_skips_cached(self):
+        chain = SyntheticChain("mainnet", height=1000)
+        assert chain.warm_heights([500, 501]) == 2
+        assert chain.warm_heights([500, 501]) == 0
+
     def test_at_height_view(self):
         chain = SyntheticChain("mainnet", height=1000)
         stale = chain.at_height(400)

@@ -9,6 +9,7 @@ from repro.crypto.keccak import (
     Keccak256,
     KeccakSponge,
     keccak256,
+    keccak256_batch,
     keccak512,
     keccak_f1600,
     keccak_f1600_reference,
@@ -98,3 +99,32 @@ def test_chunked_update_equals_oneshot(data, chunk):
     for offset in range(0, len(data), chunk):
         hasher.update(data[offset : offset + chunk])
     assert hasher.digest() == keccak256(data)
+
+
+@settings(max_examples=20)
+@given(st.lists(st.binary(max_size=135), max_size=40))
+def test_batch_equals_scalar(payloads):
+    assert keccak256_batch(payloads) == [keccak256(p) for p in payloads]
+
+
+def test_batch_boundary_lengths():
+    # every single-block length, incl. the 0x81 shared-pad byte at 135
+    payloads = [bytes([i % 251] * n) for i, n in enumerate(range(136))]
+    assert keccak256_batch(payloads) == [keccak256(p) for p in payloads]
+
+
+def test_batch_falls_back_on_multiblock_payloads():
+    payloads = [b"short", b"x" * 136, b"y" * 500]
+    assert keccak256_batch(payloads) == [keccak256(p) for p in payloads]
+
+
+def test_batch_falls_back_without_numpy(monkeypatch):
+    import repro.crypto.keccak as keccak_mod
+
+    monkeypatch.setattr(keccak_mod, "_HAVE_BATCH", False)
+    payloads = [b"", b"abc", b"z" * 135]
+    assert keccak_mod.keccak256_batch(payloads) == [keccak256(p) for p in payloads]
+
+
+def test_batch_empty():
+    assert keccak256_batch([]) == []

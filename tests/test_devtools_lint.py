@@ -60,6 +60,7 @@ def test_registry_has_all_families():
 FIRING = {
     "simnet/bad_wallclock.py": {"SIM-DET": 3},
     "simnet/bad_random.py": {"SIM-DET": 4},
+    "simnet/bad_heapq_scheduling.py": {"SIM-DET": 4},
     "chain/bad_datetime.py": {"SIM-DET": 2},
     "async_block/bad_blocking.py": {"ASYNC-BLOCK": 3},
     "async_cancel/bad_swallow.py": {"ASYNC-CANCEL": 3},
@@ -81,6 +82,7 @@ FIRING = {
 
 CLEAN = [
     "simnet/clean_seeded.py",
+    "simnet/clean_heap_queries.py",
     "async_block/clean_async.py",
     "async_cancel/clean_reraise.py",
     "exc_silent/clean_narrow.py",
@@ -158,6 +160,21 @@ def test_scoped_rule_ignores_other_packages(tmp_path):
     target.parent.mkdir()
     target.write_text(bad)
     assert lint_paths([target]) == []
+
+
+def test_scheduler_module_may_own_a_heap(tmp_path):
+    # the same heap-scheduling source is legal in exactly one place: the
+    # scheduler itself (repro/simnet/clock.py)
+    bad = (FIXTURES / "simnet" / "bad_heapq_scheduling.py").read_text()
+    target = tmp_path / "simnet" / "clock.py"
+    target.parent.mkdir()
+    target.write_text(bad)
+    assert lint_paths([target]) == []
+    # ...and only under simnet/: a chain-side clock.py is still a finding
+    chain_clock = tmp_path / "chain" / "clock.py"
+    chain_clock.parent.mkdir()
+    chain_clock.write_text(bad)
+    assert len(lint_paths([chain_clock])) == 4
 
 
 def test_ingest_pure_guards_the_analysis_layer(tmp_path):
